@@ -1,0 +1,333 @@
+// Command stateskip regenerates the paper's experiments and exposes the
+// library's flows (generate → encode → reduce → simulate → emit Verilog)
+// from the command line.
+//
+// Usage:
+//
+//	stateskip [-scale=ci|paper] table1|table2|table3|table4|fig4|hw|soc|all
+//	stateskip [-scale=...] gen -circuit s13207 -o cubes.txt
+//	stateskip atpg [-bench core.bench] -o cubes.txt
+//	stateskip encode -circuit s13207 [-scale=...] -L 200
+//	stateskip verilog -n 24 -k 10 -o lfsr.v
+//
+// The paper scale reruns the full DATE'08 evaluation and takes minutes;
+// the default CI scale runs in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/atpg"
+	"repro/internal/benchprofile"
+	"repro/internal/encoder"
+	"repro/internal/experiments"
+	"repro/internal/faultsim"
+	"repro/internal/lfsr"
+	"repro/internal/netlist"
+	"repro/internal/phaseshifter"
+	"repro/internal/stateskip"
+	"repro/internal/verilog"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "stateskip:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("stateskip", flag.ContinueOnError)
+	scaleFlag := fs.String("scale", scaleFromEnv(), "experiment scale: ci or paper")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("missing subcommand (table1|table2|table3|table4|fig4|hw|soc|all|gen|encode|atpg|verilog)")
+	}
+	scale := benchprofile.ScaleCI
+	if *scaleFlag == "paper" {
+		scale = benchprofile.ScalePaper
+	}
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "table1", "table2", "table3", "table4", "fig4", "hw", "soc", "all":
+		return runExperiments(scale, cmd)
+	case "gen":
+		return runGen(scale, rest)
+	case "encode":
+		return runEncode(scale, rest)
+	case "atpg":
+		return runATPG(rest)
+	case "verilog":
+		return runVerilog(rest)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func scaleFromEnv() string {
+	if os.Getenv("STATESKIP_SCALE") == "paper" {
+		return "paper"
+	}
+	return "ci"
+}
+
+func runExperiments(scale benchprofile.Scale, which string) error {
+	s := experiments.NewSession(scale)
+	start := time.Now()
+	do := func(name string, f func() error) error {
+		if which != "all" && which != name {
+			return nil
+		}
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("[%s done in %.1fs]\n\n", name, time.Since(t0).Seconds())
+		return nil
+	}
+	if err := do("table1", func() error {
+		rows, err := s.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Println(s.Table1Markdown(rows))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := do("table2", func() error {
+		rows, err := s.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(s.Table2Markdown(rows))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := do("fig4", func() error {
+		bars, curves, err := s.Fig4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(s.Fig4Markdown(bars, curves))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := do("table3", func() error {
+		rows, err := s.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(s.Table3Markdown(rows))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := do("table4", func() error {
+		rows, err := s.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(s.Table4Markdown(rows))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := do("hw", func() error {
+		rep, err := s.HWOverhead()
+		if err != nil {
+			return err
+		}
+		fmt.Println(s.HWMarkdown(rep))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := do("soc", func() error {
+		rep, err := s.SoC()
+		if err != nil {
+			return err
+		}
+		fmt.Println(s.SoCMarkdown(rep))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if which == "all" {
+		fmt.Printf("[all experiments done in %.1fs]\n", time.Since(start).Seconds())
+	}
+	return nil
+}
+
+func runGen(scale benchprofile.Scale, args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	circuit := fs.String("circuit", "s13207", "profile name")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := benchprofile.ByName(*circuit, scale)
+	if err != nil {
+		return err
+	}
+	set := p.Generate()
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return set.Write(w)
+}
+
+func runEncode(scale benchprofile.Scale, args []string) error {
+	fs := flag.NewFlagSet("encode", flag.ContinueOnError)
+	circuit := fs.String("circuit", "s13207", "profile name")
+	L := fs.Int("L", 0, "window length (default: scale-dependent)")
+	S := fs.Int("S", 0, "segment size (default: scale-dependent)")
+	k := fs.Int("k", 10, "State Skip speedup factor")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *L == 0 {
+		if scale == benchprofile.ScalePaper {
+			*L = 200
+		} else {
+			*L = 16
+		}
+	}
+	if *S == 0 {
+		if scale == benchprofile.ScalePaper {
+			*S = 10
+		} else {
+			*S = 4
+		}
+	}
+	p, err := benchprofile.ByName(*circuit, scale)
+	if err != nil {
+		return err
+	}
+	set := p.Generate()
+	st := set.Summary()
+	fmt.Printf("%s: %d cubes, width %d, s_max %d, %d specified bits\n",
+		*circuit, st.Cubes, st.Width, st.MaxSpecified, st.TotalSpecified)
+	t0 := time.Now()
+	enc, variant, err := encoder.EncodeAuto(p.LFSRSize, p.Width, p.Chains, *L, set)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("encoded: %d seeds (PS variant %d), TDV %d bits, full-window TSL %d vectors (%.1fs)\n",
+		len(enc.Seeds), variant, enc.TDV(), enc.TSL(), time.Since(t0).Seconds())
+	red, err := stateskip.Reduce(enc, stateskip.DefaultOptions(*S, *k))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("state skip (S=%d, k=%d): TSL %d vectors, improvement %.1f%%, %d/%d useful segments\n",
+		*S, *k, red.TSL(), red.Improvement()*100, red.TotalUseful(), len(enc.Seeds)*red.Segs)
+	return nil
+}
+
+// runATPG generates test cubes for a gate-level core: either a .bench
+// netlist supplied with -bench, or a deterministic random circuit.
+func runATPG(args []string) error {
+	fs := flag.NewFlagSet("atpg", flag.ContinueOnError)
+	bench := fs.String("bench", "", ".bench netlist (default: generated random core)")
+	inputs := fs.Int("inputs", 80, "inputs of the generated core")
+	gates := fs.Int("gates", 260, "gates of the generated core")
+	outputs := fs.Int("outputs", 48, "outputs of the generated core")
+	seed := fs.Uint64("seed", 2008, "generation seed")
+	out := fs.String("o", "", "cube output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var core *netlist.Netlist
+	if *bench != "" {
+		f, err := os.Open(*bench)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		core, err = netlist.ReadBench(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		core, err = netlist.Random(netlist.RandomConfig{
+			Inputs: *inputs, Outputs: *outputs, Gates: *gates, MaxFan: 3, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	st, err := core.Summary()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "core: %d inputs, %d outputs, %d gates, %d levels\n",
+		st.Inputs, st.Outputs, st.Gates, st.Levels)
+	u := faultsim.NewUniverse(core)
+	res, err := atpg.RunAll(u, atpg.Options{FaultDrop: true, FillSeed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ATPG: %d faults, %d untestable, %d aborted, %d cubes, coverage %.1f%%\n",
+		len(u.Faults), res.Untestable, res.Aborted, res.Cubes.Len(), res.Coverage*100)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return res.Cubes.Write(w)
+}
+
+func runVerilog(args []string) error {
+	fs := flag.NewFlagSet("verilog", flag.ContinueOnError)
+	n := fs.Int("n", 24, "LFSR size")
+	k := fs.Int("k", 10, "State Skip speedup factor")
+	chains := fs.Int("chains", 8, "phase shifter outputs")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	l, err := lfsr.NewStandard(lfsr.Fibonacci, *n)
+	if err != nil {
+		return err
+	}
+	// Pick a separation window the register's state space can support:
+	// small demo registers cannot keep many channels phase-separated over
+	// long windows.
+	sep := 1024
+	if *n < 22 {
+		if limit := (1 << uint(*n)) / (8 * *chains); limit < sep {
+			sep = limit
+		}
+		if sep < 8 {
+			sep = 8
+		}
+	}
+	ps, err := phaseshifter.NewSeparated(l, *chains, sep)
+	if err != nil {
+		return err
+	}
+	src := verilog.StateSkipLFSR(l, *k) + "\n" + verilog.PhaseShifter(ps)
+	if *out == "" {
+		fmt.Println(src)
+		return nil
+	}
+	return os.WriteFile(*out, []byte(src), 0o644)
+}

@@ -1,0 +1,589 @@
+// Package atpg is a PODEM-style deterministic test pattern generator for
+// single stuck-at faults over internal/netlist circuits — the final piece
+// of the Atalanta substitute (DESIGN.md §2). It produces test *cubes*
+// (patterns with don't-cares), which is exactly what the paper's encoding
+// flow consumes: the fewer bits PODEM needs to specify, the more cubes a
+// seed window can absorb.
+//
+// The implementation is textbook PODEM (Goel 1981): a fault is activated
+// by justifying the complement of the stuck value at the fault site and
+// propagated by repeatedly advancing the D-frontier, with all value
+// decisions made at primary inputs only, found by backtracing objectives
+// through easiest-to-control paths, and undone on conflict with
+// chronological backtracking under a backtrack limit.
+package atpg
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+	"repro/internal/prng"
+)
+
+// Three-valued logic constants. D ("good 1 / faulty 0") and D' are
+// represented as the pair of good/faulty values, not separate constants.
+const (
+	v0 uint8 = 0
+	v1 uint8 = 1
+	vX uint8 = 2
+)
+
+// Generator holds per-circuit state reused across faults.
+type Generator struct {
+	net   *netlist.Netlist
+	order []int
+	level []int
+	// controllability: rough SCOAP-like effort to set a signal to 0/1,
+	// used by backtrace to pick the easiest input.
+	cc0, cc1 []int
+
+	good, bad []uint8 // 3-valued good/faulty circuit values
+	fanout    [][]int
+
+	// Limits.
+	BacktrackLimit int
+}
+
+// New prepares a generator for a circuit.
+func New(n *netlist.Netlist) (*Generator, error) {
+	order, err := n.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	g := &Generator{
+		net:            n,
+		order:          order,
+		good:           make([]uint8, n.NumGates()),
+		bad:            make([]uint8, n.NumGates()),
+		level:          make([]int, n.NumGates()),
+		fanout:         make([][]int, n.NumGates()),
+		BacktrackLimit: 1000,
+	}
+	for gi, gate := range n.Gates {
+		for _, f := range gate.Fanin {
+			g.fanout[f] = append(g.fanout[f], gi)
+			if g.level[f]+1 > g.level[gi] {
+				g.level[gi] = g.level[f] + 1
+			}
+		}
+	}
+	g.computeControllability()
+	return g, nil
+}
+
+// computeControllability assigns SCOAP-flavoured 0/1 controllability
+// weights: inputs cost 1; a gate's cost follows from the cheapest way to
+// produce each output value.
+func (g *Generator) computeControllability() {
+	n := g.net
+	g.cc0 = make([]int, n.NumGates())
+	g.cc1 = make([]int, n.NumGates())
+	const inf = 1 << 28
+	min := func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	for _, gi := range g.order {
+		gate := &n.Gates[gi]
+		switch gate.Type {
+		case netlist.Input:
+			g.cc0[gi], g.cc1[gi] = 1, 1
+		case netlist.Buf:
+			g.cc0[gi], g.cc1[gi] = g.cc0[gate.Fanin[0]]+1, g.cc1[gate.Fanin[0]]+1
+		case netlist.Not:
+			g.cc0[gi], g.cc1[gi] = g.cc1[gate.Fanin[0]]+1, g.cc0[gate.Fanin[0]]+1
+		case netlist.And, netlist.Nand:
+			all1, any0 := 1, inf
+			for _, f := range gate.Fanin {
+				all1 += g.cc1[f]
+				any0 = min(any0, g.cc0[f])
+			}
+			c1, c0 := all1, any0+1
+			if gate.Type == netlist.Nand {
+				c0, c1 = c1, c0
+			}
+			g.cc0[gi], g.cc1[gi] = c0, c1
+		case netlist.Or, netlist.Nor:
+			all0, any1 := 1, inf
+			for _, f := range gate.Fanin {
+				all0 += g.cc0[f]
+				any1 = min(any1, g.cc1[f])
+			}
+			c0, c1 := all0, any1+1
+			if gate.Type == netlist.Nor {
+				c0, c1 = c1, c0
+			}
+			g.cc0[gi], g.cc1[gi] = c0, c1
+		case netlist.Xor, netlist.Xnor:
+			// Roughly: parity costs the sum of the cheaper sides.
+			sum := 1
+			for _, f := range gate.Fanin {
+				sum += min(g.cc0[f], g.cc1[f])
+			}
+			g.cc0[gi], g.cc1[gi] = sum, sum
+		}
+	}
+}
+
+// Status classifies the outcome of one PODEM run.
+type Status int
+
+const (
+	// StatusDetected: a test cube was found.
+	StatusDetected Status = iota
+	// StatusUntestable: the full decision space was exhausted — the fault
+	// is provably redundant.
+	StatusUntestable
+	// StatusAborted: the backtrack limit was hit before a proof either way.
+	StatusAborted
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusDetected:
+		return "detected"
+	case StatusUntestable:
+		return "untestable"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Generate runs PODEM for one fault and returns the test cube over the
+// circuit's inputs (X = unassigned) together with the run status.
+func (g *Generator) Generate(f faultsim.Fault) (cube.Cube, Status) {
+	n := g.net
+	for i := range g.good {
+		g.good[i] = vX
+		g.bad[i] = vX
+	}
+	type decision struct {
+		input   int // index into n.Inputs
+		value   uint8
+		flipped bool
+	}
+	var stack []decision
+	assigned := make(map[int]bool) // input gate index → assigned
+	backtracks := 0
+
+	imply := func() {
+		g.simulate(f)
+	}
+	imply()
+
+	for {
+		if g.detected(f) {
+			c := cube.New(len(n.Inputs))
+			for ii, gi := range n.Inputs {
+				if g.good[gi] != vX {
+					c.Set(ii, g.good[gi])
+				}
+			}
+			return c, StatusDetected
+		}
+		objGate, objVal, feasible := g.objective(f)
+		var piIdx int
+		var piVal uint8
+		backtraceOK := false
+		if feasible {
+			piIdx, piVal, backtraceOK = g.backtrace(objGate, objVal, assigned)
+		}
+		if !feasible || !backtraceOK {
+			// Conflict or no X-path: chronological backtracking.
+			for {
+				if len(stack) == 0 {
+					return cube.Cube{}, StatusUntestable
+				}
+				top := &stack[len(stack)-1]
+				if !top.flipped {
+					top.flipped = true
+					top.value ^= 1
+					g.good[g.net.Inputs[top.input]] = top.value
+					backtracks++
+					if backtracks > g.BacktrackLimit {
+						return cube.Cube{}, StatusAborted
+					}
+					break
+				}
+				assigned[g.net.Inputs[top.input]] = false
+				g.good[g.net.Inputs[top.input]] = vX
+				stack = stack[:len(stack)-1]
+			}
+			imply()
+			continue
+		}
+		gi := n.Inputs[piIdx]
+		stack = append(stack, decision{input: piIdx, value: piVal})
+		assigned[gi] = true
+		g.good[gi] = piVal
+		imply()
+	}
+}
+
+// simulate performs 3-valued good+faulty simulation with the fault
+// injected. Primary-input good values are the current assignments; all
+// other values are derived.
+func (g *Generator) simulate(f faultsim.Fault) {
+	n := g.net
+	var gbuf, bbuf []uint8
+	for _, gi := range g.order {
+		gate := &n.Gates[gi]
+		if gate.Type != netlist.Input {
+			gbuf, bbuf = gbuf[:0], bbuf[:0]
+			for pin, fi := range gate.Fanin {
+				gv, bv := g.good[fi], g.bad[fi]
+				if f.Gate == gi && f.Pin == pin {
+					bv = f.Stuck
+				}
+				gbuf = append(gbuf, gv)
+				bbuf = append(bbuf, bv)
+			}
+			g.good[gi] = eval3(gate.Type, gbuf)
+			g.bad[gi] = eval3(gate.Type, bbuf)
+		} else if f.Gate != gi || f.Pin != -1 {
+			g.bad[gi] = g.good[gi]
+		}
+		if f.Gate == gi && f.Pin == -1 {
+			g.bad[gi] = f.Stuck
+		}
+	}
+}
+
+// eval3 is 3-valued gate evaluation.
+func eval3(t netlist.GateType, in []uint8) uint8 {
+	switch t {
+	case netlist.Buf:
+		return in[0]
+	case netlist.Not:
+		if in[0] == vX {
+			return vX
+		}
+		return in[0] ^ 1
+	case netlist.And, netlist.Nand:
+		v := v1
+		for _, b := range in {
+			if b == v0 {
+				v = v0
+				break
+			}
+			if b == vX {
+				v = vX
+			}
+		}
+		if v != vX && t == netlist.Nand {
+			v ^= 1
+		}
+		return v
+	case netlist.Or, netlist.Nor:
+		v := v0
+		for _, b := range in {
+			if b == v1 {
+				v = v1
+				break
+			}
+			if b == vX {
+				v = vX
+			}
+		}
+		if v != vX && t == netlist.Nor {
+			v ^= 1
+		}
+		return v
+	case netlist.Xor, netlist.Xnor:
+		v := v0
+		for _, b := range in {
+			if b == vX {
+				return vX
+			}
+			v ^= b
+		}
+		if t == netlist.Xnor {
+			v ^= 1
+		}
+		return v
+	default:
+		panic(fmt.Sprintf("atpg: eval3 on %v", t))
+	}
+}
+
+// detected reports whether some primary output shows a definite
+// good/faulty difference.
+func (g *Generator) detected(f faultsim.Fault) bool {
+	for _, o := range g.net.Outputs {
+		gv, bv := g.good[o], g.bad[o]
+		if gv != vX && bv != vX && gv != bv {
+			return true
+		}
+	}
+	return false
+}
+
+// objective returns the next signal/value to justify: fault activation
+// first, then D-frontier advancement. feasible=false signals a dead end.
+func (g *Generator) objective(f faultsim.Fault) (gate int, val uint8, feasible bool) {
+	// Activation: the fault site's good value must be the complement of
+	// the stuck value.
+	site := f.Gate
+	if f.Pin >= 0 {
+		site = g.net.Gates[f.Gate].Fanin[f.Pin]
+	}
+	switch g.good[site] {
+	case vX:
+		return site, f.Stuck ^ 1, true
+	case f.Stuck:
+		return 0, 0, false // activation impossible under current assignment
+	}
+	// Propagation: pick the D-frontier gate closest to an output — among
+	// those with an X-path to some primary output (propagation through
+	// gates already set to definite values is impossible, so frontier
+	// gates without an X-path are dead ends; pruning them here is the
+	// classic X-path check that makes PODEM terminate quickly on blocked
+	// faults).
+	best := -1
+	for _, gi := range g.dFrontier(f) {
+		if !g.xPathToOutput(gi) {
+			continue
+		}
+		if best < 0 || g.level[gi] > g.level[best] {
+			best = gi
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	gate2 := &g.net.Gates[best]
+	nc, ok := nonControlling(gate2.Type)
+	if !ok {
+		// XOR-ish gate: any X input can take either value; pick 0.
+		nc = v0
+	}
+	for _, fi := range gate2.Fanin {
+		if g.good[fi] == vX {
+			return fi, nc, true
+		}
+	}
+	return 0, 0, false
+}
+
+// dFrontier lists gates whose output is still X (good or faulty) but which
+// have a definite good/faulty difference on some input.
+func (g *Generator) dFrontier(f faultsim.Fault) []int {
+	var out []int
+	for _, gi := range g.order {
+		gate := &g.net.Gates[gi]
+		if gate.Type == netlist.Input {
+			continue
+		}
+		if g.good[gi] != vX && g.bad[gi] != vX {
+			continue
+		}
+		for pin, fi := range gate.Fanin {
+			gv, bv := g.good[fi], g.bad[fi]
+			if f.Gate == gi && f.Pin == pin {
+				bv = f.Stuck
+			}
+			if gv != vX && bv != vX && gv != bv {
+				out = append(out, gi)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// xPathToOutput reports whether a path of X-valued gates leads from gate
+// gi to some primary output (gi itself may hold a definite faulty value —
+// only the forward path must still be open).
+func (g *Generator) xPathToOutput(gi int) bool {
+	isOut := func(x int) bool {
+		for _, o := range g.net.Outputs {
+			if o == x {
+				return true
+			}
+		}
+		return false
+	}
+	if isOut(gi) {
+		return true
+	}
+	seen := make(map[int]bool)
+	stack := []int{gi}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, fo := range g.fanout[cur] {
+			if seen[fo] {
+				continue
+			}
+			seen[fo] = true
+			if g.good[fo] != vX && g.bad[fo] != vX {
+				continue // definite value: propagation blocked here
+			}
+			if isOut(fo) {
+				return true
+			}
+			stack = append(stack, fo)
+		}
+	}
+	return false
+}
+
+// nonControlling returns the value that does not decide the gate's output.
+func nonControlling(t netlist.GateType) (uint8, bool) {
+	switch t {
+	case netlist.And, netlist.Nand:
+		return v1, true
+	case netlist.Or, netlist.Nor:
+		return v0, true
+	default:
+		return vX, false
+	}
+}
+
+// backtrace walks an objective (gate, value) backwards to an unassigned
+// primary input, inverting the target value through inverting gates and
+// choosing the easiest-to-control fan-in by the SCOAP weights.
+func (g *Generator) backtrace(gate int, val uint8, assigned map[int]bool) (piIdx int, piVal uint8, ok bool) {
+	n := g.net
+	cur, want := gate, val
+	for steps := 0; steps < n.NumGates()+1; steps++ {
+		gt := &n.Gates[cur]
+		if gt.Type == netlist.Input {
+			if g.good[cur] != vX {
+				return 0, 0, false // already assigned; objective unreachable
+			}
+			for ii, gi := range n.Inputs {
+				if gi == cur {
+					return ii, want, true
+				}
+			}
+			return 0, 0, false
+		}
+		// Choose the X fan-in that is cheapest for the required value,
+		// flipping the wanted value through inverting gates.
+		nextWant := want
+		switch gt.Type {
+		case netlist.Not, netlist.Nand, netlist.Nor, netlist.Xnor:
+			nextWant = want ^ 1
+		}
+		bestFi, bestCost := -1, 1<<30
+		for _, fi := range gt.Fanin {
+			if g.good[fi] != vX {
+				continue
+			}
+			cost := g.cc0[fi]
+			if nextWant == v1 {
+				cost = g.cc1[fi]
+			}
+			if cost < bestCost {
+				bestCost = cost
+				bestFi = fi
+			}
+		}
+		if bestFi < 0 {
+			return 0, 0, false
+		}
+		cur, want = bestFi, nextWant
+	}
+	return 0, 0, false
+}
+
+// Result is the outcome of a full-circuit ATPG run.
+type Result struct {
+	Cubes *cube.Set
+	// Patterns are the fully specified patterns used for fault dropping
+	// (the cubes with X filled pseudorandomly), in cube order. Empty when
+	// FaultDrop is off.
+	Patterns [][]uint8
+	// Detected counts faults covered by the generated cubes (including
+	// fault-drop credit). Untestable counts faults PODEM proved redundant
+	// (decision space exhausted); Aborted counts faults abandoned at the
+	// backtrack limit — unlike untestables they still count against
+	// coverage.
+	Detected   int
+	Untestable int
+	Aborted    int
+	Coverage   float64 // detected / (total - untestable)
+}
+
+// Options tunes RunAll.
+type Options struct {
+	// FaultDrop simulates each new cube (X-filled randomly) against the
+	// remaining faults and drops everything it detects, like Atalanta.
+	FaultDrop bool
+	// FillSeed keys the random X-fill used for fault dropping.
+	FillSeed uint64
+	// BacktrackLimit overrides the generator default when > 0.
+	BacktrackLimit int
+}
+
+// RunAll generates test cubes for every fault of the universe.
+func RunAll(u *faultsim.Universe, opt Options) (*Result, error) {
+	g, err := New(u.Net)
+	if err != nil {
+		return nil, err
+	}
+	if opt.BacktrackLimit > 0 {
+		g.BacktrackLimit = opt.BacktrackLimit
+	}
+	sim, err := faultsim.NewSimulator(u)
+	if err != nil {
+		return nil, err
+	}
+	src := prng.New(opt.FillSeed)
+	res := &Result{Cubes: cube.NewSet(len(u.Net.Inputs))}
+	done := make([]bool, len(u.Faults))
+	for fi, f := range u.Faults {
+		if done[fi] {
+			continue
+		}
+		c, status := g.Generate(f)
+		switch status {
+		case StatusUntestable:
+			res.Untestable++
+			done[fi] = true
+			continue
+		case StatusAborted:
+			res.Aborted++
+			done[fi] = true
+			continue
+		}
+		res.Detected++
+		done[fi] = true
+		if err := res.Cubes.Add(c); err != nil {
+			return nil, err
+		}
+		if opt.FaultDrop {
+			// Random-fill the cube and drop everything the pattern detects.
+			pat := make([]uint8, c.Width())
+			for i := 0; i < c.Width(); i++ {
+				switch c.Get(i) {
+				case -1:
+					pat[i] = src.Bit()
+				default:
+					pat[i] = uint8(c.Get(i))
+				}
+			}
+			res.Patterns = append(res.Patterns, pat)
+			if err := sim.LoadPatterns([][]uint8{pat}); err != nil {
+				return nil, err
+			}
+			for oi, of := range u.Faults {
+				if !done[oi] && sim.DetectMask(of) != 0 {
+					done[oi] = true
+					res.Detected++
+				}
+			}
+		}
+	}
+	if den := len(u.Faults) - res.Untestable; den > 0 {
+		res.Coverage = float64(res.Detected) / float64(den)
+	}
+	return res, nil
+}

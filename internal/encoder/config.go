@@ -1,0 +1,70 @@
+package encoder
+
+import (
+	"repro/internal/cube"
+	"repro/internal/lfsr"
+	"repro/internal/phaseshifter"
+	"repro/internal/scan"
+)
+
+// StandardConfig assembles the canonical decompressor used throughout the
+// paper's experiments: a Fibonacci LFSR of size n with a curated primitive
+// polynomial, the standard 3-tap phase shifter, and `chains` balanced scan
+// chains covering `width` scan cells, with window length L.
+func StandardConfig(n, width, chains, L int) (Config, error) {
+	l, err := lfsr.NewStandard(lfsr.Fibonacci, n)
+	if err != nil {
+		return Config{}, err
+	}
+	geo, err := scan.New(width, chains)
+	if err != nil {
+		return Config{}, err
+	}
+	ps, err := phaseshifter.NewSeparated(l, chains, L*geo.Length)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{LFSR: l, PS: ps, Geo: geo, WindowLen: L, FillSeed: 0xC0FFEE}, nil
+}
+
+// StandardConfigVariant is StandardConfig with an explicit phase-shifter
+// design variant (see phaseshifter.NewSeparatedVariant).
+func StandardConfigVariant(n, width, chains, L int, variant uint64) (Config, error) {
+	l, err := lfsr.NewStandard(lfsr.Fibonacci, n)
+	if err != nil {
+		return Config{}, err
+	}
+	geo, err := scan.New(width, chains)
+	if err != nil {
+		return Config{}, err
+	}
+	ps, err := phaseshifter.NewSeparatedVariant(l, chains, L*geo.Length, variant)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{LFSR: l, PS: ps, Geo: geo, WindowLen: L, FillSeed: 0xC0FFEE}, nil
+}
+
+// EncodeAuto encodes the set with the standard decompressor, retrying with
+// successive phase-shifter variants if a cube turns out structurally
+// unencodable under the current one. Higher-weight translation-invariant
+// phase relations cannot all be designed away (pigeonhole over the LFSR's
+// state space), so iterating the shifter design is the standard remedy; a
+// handful of variants virtually always suffices. It returns the encoding
+// and the variant that worked.
+func EncodeAuto(n, width, chains, L int, set *cube.Set) (*Encoding, uint64, error) {
+	const maxVariants = 16
+	var lastErr error
+	for v := uint64(0); v < maxVariants; v++ {
+		cfg, err := StandardConfigVariant(n, width, chains, L, v)
+		if err != nil {
+			return nil, v, err
+		}
+		enc, err := Encode(cfg, set)
+		if err == nil {
+			return enc, v, nil
+		}
+		lastErr = err
+	}
+	return nil, maxVariants, lastErr
+}

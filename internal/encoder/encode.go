@@ -1,0 +1,327 @@
+package encoder
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/cube"
+	"repro/internal/gf2"
+	"repro/internal/lfsr"
+	"repro/internal/phaseshifter"
+	"repro/internal/prng"
+	"repro/internal/scan"
+)
+
+// Config describes one encoding run.
+type Config struct {
+	LFSR *lfsr.LFSR
+	PS   *phaseshifter.PhaseShifter
+	Geo  scan.Geometry
+	// WindowLen is L, the number of vectors each seed expands into.
+	// L = 1 is classical reseeding.
+	WindowLen int
+	// FillSeed keys the deterministic PRNG that fills free seed variables.
+	FillSeed uint64
+	// Workers bounds the candidate-scan parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// NoPruning disables monotone feasibility pruning (ablation hook; the
+	// result is identical, only slower).
+	NoPruning bool
+}
+
+// Assignment records where one cube was deterministically embedded.
+type Assignment struct {
+	Cube int // index into the input cube set
+	Pos  int // window position (vector index within the seed's window)
+}
+
+// Seed is one computed LFSR seed together with the cubes it encodes.
+type Seed struct {
+	Value       gf2.Vec
+	Assignments []Assignment
+}
+
+// Encoding is the result of compressing a cube set.
+type Encoding struct {
+	Cfg   Config
+	Set   *cube.Set
+	Seeds []Seed
+	// ChecksPerformed counts linear-system consistency checks, a measure of
+	// encoder effort used by the pruning ablation.
+	ChecksPerformed int64
+}
+
+// TDV returns the test data volume in bits: seeds × n.
+func (e *Encoding) TDV() int { return len(e.Seeds) * e.Cfg.LFSR.Size() }
+
+// TSL returns the test sequence length, in vectors, of the original
+// window-based scheme: every seed expands into a full window.
+func (e *Encoding) TSL() int { return len(e.Seeds) * e.Cfg.WindowLen }
+
+// Encode compresses the cube set into LFSR seeds. The input set is not
+// modified. Encode fails if some cube cannot be embedded anywhere even by a
+// dedicated seed (the LFSR is too small for the test set).
+func Encode(cfg Config, set *cube.Set) (*Encoding, error) {
+	if cfg.WindowLen < 1 {
+		return nil, fmt.Errorf("encoder: window length %d must be ≥ 1", cfg.WindowLen)
+	}
+	if set.Len() == 0 {
+		return nil, fmt.Errorf("encoder: empty cube set")
+	}
+	if set.Width != cfg.Geo.Width {
+		return nil, fmt.Errorf("encoder: cube width %d != scan width %d", set.Width, cfg.Geo.Width)
+	}
+	table, err := BuildExprTable(cfg.LFSR, cfg.PS, cfg.Geo, cfg.WindowLen)
+	if err != nil {
+		return nil, err
+	}
+	return encodeWithTable(cfg, set, table)
+}
+
+// candidate is one solvable (cube, position) system found during a scan.
+type candidate struct {
+	cube    int
+	pos     int
+	rankInc int
+}
+
+type encodeState struct {
+	cfg     Config
+	set     *cube.Set
+	table   *ExprTable
+	n       int
+	L       int
+	workers int
+
+	// order holds cube indices sorted by descending specified count; tiers
+	// are contiguous runs of equal counts.
+	order     []int
+	remaining []bool // indexed by cube: still to be encoded
+	nRemain   int
+
+	// feasible[cube][pos]: not yet proven unsolvable for the current seed.
+	feasible [][]bool
+
+	solver *gf2.Solver
+	checks int64
+}
+
+func encodeWithTable(cfg Config, set *cube.Set, table *ExprTable) (*Encoding, error) {
+	st := &encodeState{
+		cfg:     cfg,
+		set:     set,
+		table:   table,
+		n:       cfg.LFSR.Size(),
+		L:       cfg.WindowLen,
+		workers: cfg.Workers,
+	}
+	if st.workers <= 0 {
+		st.workers = runtime.GOMAXPROCS(0)
+	}
+	st.order = make([]int, set.Len())
+	for i := range st.order {
+		st.order[i] = i
+	}
+	sort.SliceStable(st.order, func(a, b int) bool {
+		return set.Cubes[st.order[a]].SpecifiedCount() > set.Cubes[st.order[b]].SpecifiedCount()
+	})
+	st.remaining = make([]bool, set.Len())
+	for i := range st.remaining {
+		st.remaining[i] = true
+	}
+	st.nRemain = set.Len()
+	st.feasible = make([][]bool, set.Len())
+	for i := range st.feasible {
+		st.feasible[i] = make([]bool, st.L)
+	}
+
+	enc := &Encoding{Cfg: cfg, Set: set}
+	fill := prng.New(cfg.FillSeed)
+	for st.nRemain > 0 {
+		seed, err := st.buildSeed(fill)
+		if err != nil {
+			return nil, err
+		}
+		enc.Seeds = append(enc.Seeds, seed)
+	}
+	enc.ChecksPerformed = st.checks
+	return enc, nil
+}
+
+// buildSeed constructs one seed: it commits the densest remaining cube at
+// the earliest solvable window position, then greedily folds in more cubes
+// per the paper's criteria until nothing else fits.
+func (st *encodeState) buildSeed(fill *prng.Source) (Seed, error) {
+	st.solver = gf2.NewSolver(st.n)
+	for _, ci := range st.order {
+		if st.remaining[ci] {
+			for p := range st.feasible[ci] {
+				st.feasible[ci][p] = true
+			}
+		}
+	}
+
+	var seed Seed
+	var scratch gf2.CheckScratch
+	var eqBuf []gf2.Equation
+
+	// First cube: densest remaining, at the first solvable position
+	// (position 0 in the common case the paper assumes).
+	first := -1
+	for _, ci := range st.order {
+		if st.remaining[ci] {
+			first = ci
+			break
+		}
+	}
+	firstPos := -1
+	for p := 0; p < st.L; p++ {
+		eqBuf = st.table.Equations(st.set.Cubes[first], p, eqBuf[:0])
+		st.checks++
+		if _, ok := st.solver.Check(eqBuf, &scratch); ok {
+			firstPos = p
+			break
+		}
+	}
+	if firstPos < 0 {
+		return Seed{}, fmt.Errorf("encoder: cube %d (%d specified bits) cannot be embedded anywhere in a fresh window; increase the LFSR size (n=%d)", first, st.set.Cubes[first].SpecifiedCount(), st.n)
+	}
+	st.commit(first, firstPos, &seed, eqBuf)
+
+	for {
+		cand, ok := st.scanTiers()
+		if !ok {
+			break
+		}
+		eqBuf = st.table.Equations(st.set.Cubes[cand.cube], cand.pos, eqBuf[:0])
+		st.commit(cand.cube, cand.pos, &seed, eqBuf)
+	}
+
+	seed.Value = st.solver.Solution(func(int) uint8 { return fill.Bit() })
+	return seed, nil
+}
+
+func (st *encodeState) commit(ci, pos int, seed *Seed, eqs []gf2.Equation) {
+	if _, ok := st.solver.AddSystem(eqs); !ok {
+		panic("encoder: committing a system that was just verified solvable")
+	}
+	seed.Assignments = append(seed.Assignments, Assignment{Cube: ci, Pos: pos})
+	st.remaining[ci] = false
+	st.nRemain--
+}
+
+// scanTiers walks specified-count tiers in descending order and returns the
+// winning candidate of the first tier that has any solvable system, applying
+// the paper's tie-breaks.
+func (st *encodeState) scanTiers() (candidate, bool) {
+	i := 0
+	for i < len(st.order) {
+		// Delimit the next tier of equal specified counts, skipping
+		// already-encoded cubes.
+		for i < len(st.order) && !st.remaining[st.order[i]] {
+			i++
+		}
+		if i >= len(st.order) {
+			return candidate{}, false
+		}
+		spec := st.set.Cubes[st.order[i]].SpecifiedCount()
+		var tier []int
+		for i < len(st.order) && st.set.Cubes[st.order[i]].SpecifiedCount() == spec {
+			if st.remaining[st.order[i]] {
+				tier = append(tier, st.order[i])
+			}
+			i++
+		}
+		if cand, ok := st.scanTier(tier); ok {
+			return cand, true
+		}
+	}
+	return candidate{}, false
+}
+
+// scanTier checks every still-feasible (cube, position) pair of one tier in
+// parallel. Positions proven unsolvable are pruned for the rest of this
+// seed's construction (constraints only grow, so unsolvable stays
+// unsolvable — DESIGN.md item 1).
+func (st *encodeState) scanTier(tier []int) (candidate, bool) {
+	type cubeResult struct {
+		cands []candidate // solvable positions with their rank increase
+	}
+	results := make([]cubeResult, len(tier))
+	var wg sync.WaitGroup
+	var checkCount int64
+	var mu sync.Mutex
+	sem := make(chan struct{}, st.workers)
+	for ti, ci := range tier {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ti, ci int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var scratch gf2.CheckScratch
+			var eqBuf []gf2.Equation
+			var local int64
+			c := st.set.Cubes[ci]
+			feas := st.feasible[ci]
+			for p := 0; p < st.L; p++ {
+				if !feas[p] && !st.cfg.NoPruning {
+					continue
+				}
+				eqBuf = st.table.Equations(c, p, eqBuf[:0])
+				local++
+				inc, ok := st.solver.Check(eqBuf, &scratch)
+				if !ok {
+					feas[p] = false
+					continue
+				}
+				results[ti].cands = append(results[ti].cands, candidate{cube: ci, pos: p, rankInc: inc})
+			}
+			mu.Lock()
+			checkCount += local
+			mu.Unlock()
+		}(ti, ci)
+	}
+	wg.Wait()
+	st.checks += checkCount
+
+	// Tie-break 1: fewest replaced variables (minimum rank increase).
+	minInc := -1
+	for _, r := range results {
+		for _, c := range r.cands {
+			if minInc < 0 || c.rankInc < minInc {
+				minInc = c.rankInc
+			}
+		}
+	}
+	if minInc < 0 {
+		return candidate{}, false
+	}
+	// Tie-break 2: the cube encodable at the fewest window positions.
+	solvableCount := make(map[int]int)
+	for _, r := range results {
+		for _, c := range r.cands {
+			solvableCount[c.cube]++
+		}
+	}
+	best := candidate{cube: -1}
+	bestCount := 0
+	for _, r := range results {
+		for _, c := range r.cands {
+			if c.rankInc != minInc {
+				continue
+			}
+			cnt := solvableCount[c.cube]
+			if best.cube < 0 ||
+				cnt < bestCount ||
+				// Tie-break 3: nearest to the start of the window.
+				(cnt == bestCount && c.pos < best.pos) ||
+				(cnt == bestCount && c.pos == best.pos && c.cube < best.cube) {
+				best = c
+				bestCount = cnt
+			}
+		}
+	}
+	return best, true
+}

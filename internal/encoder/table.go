@@ -1,0 +1,106 @@
+// Package encoder implements window-based LFSR reseeding for pre-computed
+// test sets (Section 2 of the paper).
+//
+// Each n-bit seed loaded into the LFSR expands into a window of L test
+// vectors. Every bit any window vector feeds into a scan cell is a linear
+// expression of the n seed variables, so a test cube is encodable at window
+// position v iff the linear system equating those expressions with the
+// cube's specified bits is consistent. The encoder packs as many cubes as
+// possible into each seed using the greedy criteria of the paper:
+//
+//  1. among solvable systems, prefer cubes with the most specified bits;
+//  2. then systems whose solution replaces the fewest free variables;
+//  3. then cubes encodable at the fewest remaining window positions;
+//  4. then the position nearest the start of the window.
+//
+// Classical reseeding (one vector per seed) is the special case L = 1.
+package encoder
+
+import (
+	"fmt"
+
+	"repro/internal/cube"
+	"repro/internal/gf2"
+	"repro/internal/lfsr"
+	"repro/internal/phaseshifter"
+	"repro/internal/scan"
+)
+
+// ExprTable holds, for every window position and cube bit position, the
+// linear expression (over the n seed variables) that the decompressor
+// produces there. Built once per (LFSR, phase shifter, geometry, L) and
+// shared by every seed computation.
+type ExprTable struct {
+	L   int
+	N   int
+	Geo scan.Geometry
+
+	words int      // words per expression
+	arena []uint64 // backing storage for all expressions
+	// expression for (cycle t, chain ch) lives at arena slot (t*m + ch)
+}
+
+// BuildExprTable symbolically simulates the LFSR through L·r cycles and
+// materialises the phase-shifter output expressions.
+func BuildExprTable(l *lfsr.LFSR, ps *phaseshifter.PhaseShifter, geo scan.Geometry, L int) (*ExprTable, error) {
+	if L < 1 {
+		return nil, fmt.Errorf("encoder: window length %d must be ≥ 1", L)
+	}
+	if ps.Outputs() != geo.Chains {
+		return nil, fmt.Errorf("encoder: phase shifter outputs %d != scan chains %d", ps.Outputs(), geo.Chains)
+	}
+	if ps.Size() != l.Size() {
+		return nil, fmt.Errorf("encoder: phase shifter size %d != LFSR size %d", ps.Size(), l.Size())
+	}
+	n := l.Size()
+	words := (n + 63) / 64
+	cycles := L * geo.Length
+	m := geo.Chains
+	t := &ExprTable{
+		L: L, N: n, Geo: geo,
+		words: words,
+		arena: make([]uint64, cycles*m*words),
+	}
+	sym := lfsr.NewSymbolic(l)
+	for cyc := 0; cyc < cycles; cyc++ {
+		for ch := 0; ch < m; ch++ {
+			dst := t.exprAt(cyc, ch)
+			for _, cell := range ps.Taps(ch) {
+				dst.Xor(sym.Expr(cell))
+			}
+		}
+		sym.Step()
+	}
+	return t, nil
+}
+
+// exprAt returns the (mutable, arena-backed) expression for output ch at
+// absolute cycle t.
+func (t *ExprTable) exprAt(cyc, ch int) gf2.Vec {
+	idx := (cyc*t.Geo.Chains + ch) * t.words
+	return gf2.VecView(t.N, t.arena[idx:idx+t.words])
+}
+
+// Expr returns the seed-variable expression of cube bit position pos within
+// window vector v. The returned vector is a read-only view; do not modify.
+func (t *ExprTable) Expr(v, pos int) gf2.Vec {
+	if v < 0 || v >= t.L {
+		panic(fmt.Sprintf("encoder: window position %d out of range [0,%d)", v, t.L))
+	}
+	ch, depth := t.Geo.Cell(pos)
+	cyc := v*t.Geo.Length + t.Geo.ShiftCycle(depth)
+	return t.exprAt(cyc, ch)
+}
+
+// Equations appends to buf the linear system that embeds c at window
+// position v and returns the extended slice. Coefficient vectors are shared
+// views into the table; the solver treats them as read-only.
+func (t *ExprTable) Equations(c cube.Cube, v int, buf []gf2.Equation) []gf2.Equation {
+	for pos := c.Mask.FirstSet(); pos >= 0; pos = c.Mask.NextSet(pos + 1) {
+		buf = append(buf, gf2.Equation{Coeffs: t.Expr(v, pos), RHS: c.Value.Bit(pos)})
+	}
+	return buf
+}
+
+// MemoryBytes reports the arena size, for diagnostics.
+func (t *ExprTable) MemoryBytes() int { return len(t.arena) * 8 }

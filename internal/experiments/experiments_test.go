@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchprofile"
+	"repro/internal/litdata"
+)
+
+func ciSession() *Session { return NewSession(benchprofile.ScaleCI) }
+
+func TestTable1Trends(t *testing.T) {
+	s := ciSession()
+	rows, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		// The paper's Table 1 story: TDV falls and TSL rises with L. Dense,
+		// rank-bound sets (s38417) gain almost nothing from windows, so a
+		// couple of seeds of phase-shifter-variant noise is tolerated.
+		for i := 1; i < len(row.Cells); i++ {
+			slack := 3 * row.LFSRSize
+			if row.Cells[i].TDV > row.Cells[i-1].TDV+slack {
+				t.Errorf("%s: TDV rose from L=%d (%d) to L=%d (%d)", row.Circuit,
+					row.Cells[i-1].L, row.Cells[i-1].TDV, row.Cells[i].L, row.Cells[i].TDV)
+			}
+			if row.Cells[i].TSL <= row.Cells[i-1].TSL {
+				t.Errorf("%s: TSL did not grow with L", row.Circuit)
+			}
+		}
+	}
+	md := s.Table1Markdown(rows)
+	if !strings.Contains(md, "s13207") {
+		t.Error("markdown missing circuit name")
+	}
+}
+
+func TestTable2Improvements(t *testing.T) {
+	s := ciSession()
+	rows, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		for _, c := range row.Cells {
+			if c.Prop >= c.Orig {
+				t.Errorf("%s L=%d: no improvement (%d vs %d)", row.Circuit, c.L, c.Prop, c.Orig)
+			}
+			if c.Impr <= 0 || c.Impr >= 1 {
+				t.Errorf("%s L=%d: improvement %.2f out of range", row.Circuit, c.L, c.Impr)
+			}
+		}
+		// Larger windows leave more useless vectors to skip, so the
+		// improvement should not decrease with L.
+		last := row.Cells[len(row.Cells)-1]
+		first := row.Cells[0]
+		if last.Impr < first.Impr-0.05 {
+			t.Errorf("%s: improvement fell with L: %.2f -> %.2f", row.Circuit, first.Impr, last.Impr)
+		}
+	}
+	_ = s.Table2Markdown(rows)
+}
+
+func TestFig4Trends(t *testing.T) {
+	s := ciSession()
+	bars, curves, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Improvement grows (weakly) with k within every series.
+	for _, serie := range append(append([]Fig4Series{}, bars...), curves...) {
+		first := serie.Points[0].Impr
+		last := serie.Points[len(serie.Points)-1].Impr
+		if last < first {
+			t.Errorf("%s: improvement fell with k: %.2f -> %.2f", serie.Label, first, last)
+		}
+	}
+	// Smaller S gives at least as good improvement at max k (paper's bars).
+	if len(bars) >= 2 {
+		smallest := bars[0].Points[len(bars[0].Points)-1].Impr
+		largest := bars[len(bars)-1].Points[len(bars[len(bars)-1].Points)-1].Impr
+		if smallest+0.02 < largest {
+			t.Errorf("smallest S (%.2f) clearly worse than largest S (%.2f) at max k", smallest, largest)
+		}
+	}
+	// Larger L gives better improvement at max k (paper's curves).
+	if len(curves) >= 2 {
+		first := curves[0].Points[len(curves[0].Points)-1].Impr
+		last := curves[len(curves)-1].Points[len(curves[len(curves)-1].Points)-1].Impr
+		if last < first {
+			t.Errorf("improvement did not grow with L: %.2f -> %.2f", first, last)
+		}
+	}
+	_ = s.Fig4Markdown(bars, curves)
+}
+
+func TestTable3Shape(t *testing.T) {
+	s := ciSession()
+	rows, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.PropTSL <= 0 || r.PropTDV <= 0 {
+			t.Errorf("%s: non-positive prop numbers", r.Circuit)
+		}
+		// The paper's headline: the proposed TSL beats [22]'s by a lot
+		// ([22]'s sequences are hundreds of thousands of vectors).
+		if float64(r.PropTSL) > 0.5*float64(r.Lit22.TSL) {
+			t.Errorf("%s: prop TSL %d not clearly below [22]'s %d", r.Circuit, r.PropTSL, r.Lit22.TSL)
+		}
+	}
+	_ = s.Table3Markdown(rows)
+}
+
+func TestTable4Shape(t *testing.T) {
+	s := ciSession()
+	rows, err := s.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Embedding stores less data than classical reseeding…
+		if r.PropTDV > r.ClassicalTDV {
+			t.Errorf("%s: prop TDV %d above classical %d", r.Circuit, r.PropTDV, r.ClassicalTDV)
+		}
+		// …at the cost of a longer sequence.
+		if r.PropTSL < r.ClassicalTSL {
+			t.Errorf("%s: prop TSL %d below classical %d (suspicious)", r.Circuit, r.PropTSL, r.ClassicalTSL)
+		}
+	}
+	_ = s.Table4Markdown(rows)
+}
+
+func TestHWOverheadAndSoC(t *testing.T) {
+	s := ciSession()
+	rep, err := s.HWOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SkipSweep) == 0 {
+		t.Fatal("empty skip sweep")
+	}
+	for _, p := range rep.SkipSweep {
+		if p.CSEGE > p.NaiveGE {
+			t.Errorf("k=%d: CSE worse than naive", p.K)
+		}
+	}
+	if rep.ModeSelectMin <= 0 || rep.ModeSelectMax < rep.ModeSelectMin {
+		t.Errorf("mode select range [%f,%f] invalid", rep.ModeSelectMin, rep.ModeSelectMax)
+	}
+	_ = s.HWMarkdown(rep)
+
+	soc, err := s.SoC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(soc.Cores) != 5 {
+		t.Fatalf("SoC has %d cores", len(soc.Cores))
+	}
+	if soc.AreaPercent <= 0 || soc.AreaPercent > 50 {
+		t.Errorf("SoC area percent %.1f implausible", soc.AreaPercent)
+	}
+	_ = s.SoCMarkdown(soc)
+}
+
+func TestSessionCaching(t *testing.T) {
+	s := ciSession()
+	a, err := s.Encoding("s9234", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Encoding("s9234", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("encoding not cached")
+	}
+	ia, _ := s.Index("s9234", 8)
+	ib, _ := s.Index("s9234", 8)
+	if ia != ib {
+		t.Error("index not cached")
+	}
+}
+
+func TestLitdataConsistency(t *testing.T) {
+	// The paper's own tables must be mutually consistent: Table 4's
+	// classical column equals Table 1's L=1 column, and the prop column
+	// equals Table 2's L=200 Prop with Table 1's L=200 TDV.
+	for _, c := range litdata.Circuits {
+		t1 := litdata.Table1[c][1]
+		t4 := litdata.Table4Prop[c]
+		if t4.ClassicalTDV != t1.TDV || t4.ClassicalTSL != t1.TSL {
+			t.Errorf("%s: Table 4 classical (%d,%d) != Table 1 L=1 (%d,%d)", c, t4.ClassicalTDV, t4.ClassicalTSL, t1.TDV, t1.TSL)
+		}
+		t2 := litdata.Table2[c][200]
+		if t4.PropTSL != t2.Prop {
+			t.Errorf("%s: Table 4 prop TSL %d != Table 2 L=200 prop %d", c, t4.PropTSL, t2.Prop)
+		}
+		t1200 := litdata.Table1[c][200]
+		if t4.PropTDV != t1200.TDV {
+			t.Errorf("%s: Table 4 prop TDV %d != Table 1 L=200 TDV %d", c, t4.PropTDV, t1200.TDV)
+		}
+		if t2.Orig != t1200.TSL {
+			t.Errorf("%s: Table 2 orig %d != Table 1 L=200 TSL %d", c, t2.Orig, t1200.TSL)
+		}
+	}
+}

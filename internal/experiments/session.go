@@ -1,0 +1,213 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Section 4). Each driver returns structured rows plus
+// a Markdown rendering; cmd/stateskip and the repository-level benchmarks
+// are thin wrappers around these drivers.
+//
+// The experiment index lives in DESIGN.md §4; measured-vs-paper values are
+// recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/benchprofile"
+	"repro/internal/cube"
+	"repro/internal/encoder"
+	"repro/internal/stateskip"
+)
+
+// Params collects the sweep parameters of the evaluation. PaperParams
+// matches the paper exactly; CIParams shrinks window sizes so the whole
+// suite runs in seconds.
+type Params struct {
+	Table1Ls []int // window lengths of Table 1 (first entry must be 1)
+
+	Table2Ls []int // window lengths of Table 2
+	Table2Ss []int // segment sizes tried for Table 2 ("best of")
+	Table2Ks []int // speedup factors tried for Table 2
+
+	Fig4BarL    int   // window length for the S-sweep bars
+	Fig4BarSs   []int // segment sizes of the bars
+	Fig4CurveS  int   // segment size of the L-sweep curves
+	Fig4CurveLs []int // window lengths of the curves
+	Fig4Ks      []int // speedup factors of both sweeps
+
+	Table3L     int // window length for the embedding comparison
+	Table4PropL int // window length of the proposed column in Table 4
+}
+
+// PaperParams are the exact parameters of the paper's Section 4.
+func PaperParams() Params {
+	return Params{
+		Table1Ls:    []int{1, 50, 200, 500},
+		Table2Ls:    []int{50, 200, 500},
+		Table2Ss:    []int{2, 5, 10},
+		Table2Ks:    []int{5, 8, 12, 16, 20, 24},
+		Fig4BarL:    300,
+		Fig4BarSs:   []int{4, 10, 12, 20},
+		Fig4CurveS:  5,
+		Fig4CurveLs: []int{50, 100, 300, 500},
+		Fig4Ks:      []int{3, 6, 9, 12, 15, 18, 21, 24},
+		Table3L:     300,
+		Table4PropL: 200,
+	}
+}
+
+// CIParams shrink every sweep for fast tests and default benchmarks while
+// keeping all qualitative behaviours (windows ≫ segments ≫ 1, k up to 24).
+func CIParams() Params {
+	return Params{
+		Table1Ls:    []int{1, 8, 16, 32},
+		Table2Ls:    []int{8, 16, 32},
+		Table2Ss:    []int{2, 4, 8},
+		Table2Ks:    []int{5, 12, 24},
+		Fig4BarL:    24,
+		Fig4BarSs:   []int{2, 4, 6},
+		Fig4CurveS:  4,
+		Fig4CurveLs: []int{8, 16, 24, 32},
+		Fig4Ks:      []int{3, 6, 12, 24},
+		Table3L:     24,
+		Table4PropL: 16,
+	}
+}
+
+// ParamsFor returns the parameter set for a scale.
+func ParamsFor(scale benchprofile.Scale) Params {
+	if scale == benchprofile.ScalePaper {
+		return PaperParams()
+	}
+	return CIParams()
+}
+
+// Session caches the expensive artefacts (generated cube sets and
+// encodings) across experiments, since Table 1/2/4 and Fig. 4 reuse the
+// same (circuit, L) encodings.
+type Session struct {
+	Scale  benchprofile.Scale
+	Params Params
+
+	mu   sync.Mutex
+	sets map[string]*cube.Set
+	encs map[encKey]*encoder.Encoding
+	idxs map[encKey]*stateskip.VecEmbeddings
+}
+
+type encKey struct {
+	circuit string
+	L       int
+}
+
+// NewSession creates a session at the given scale with that scale's
+// default parameters.
+func NewSession(scale benchprofile.Scale) *Session {
+	return &Session{
+		Scale:  scale,
+		Params: ParamsFor(scale),
+		sets:   make(map[string]*cube.Set),
+		encs:   make(map[encKey]*encoder.Encoding),
+		idxs:   make(map[encKey]*stateskip.VecEmbeddings),
+	}
+}
+
+// Set returns the (cached) synthetic cube set of one circuit.
+func (s *Session) Set(circuit string) (*cube.Set, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if set, ok := s.sets[circuit]; ok {
+		return set, nil
+	}
+	p, err := benchprofile.ByName(circuit, s.Scale)
+	if err != nil {
+		return nil, err
+	}
+	set := p.Generate()
+	s.sets[circuit] = set
+	return set, nil
+}
+
+// Encoding returns the (cached) window encoding of one circuit at window
+// length L.
+func (s *Session) Encoding(circuit string, L int) (*encoder.Encoding, error) {
+	s.mu.Lock()
+	if enc, ok := s.encs[encKey{circuit, L}]; ok {
+		s.mu.Unlock()
+		return enc, nil
+	}
+	s.mu.Unlock()
+
+	set, err := s.Set(circuit)
+	if err != nil {
+		return nil, err
+	}
+	p, err := benchprofile.ByName(circuit, s.Scale)
+	if err != nil {
+		return nil, err
+	}
+	enc, _, err := encoder.EncodeAuto(p.LFSRSize, p.Width, p.Chains, L, set)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s L=%d: %w", circuit, L, err)
+	}
+	s.mu.Lock()
+	s.encs[encKey{circuit, L}] = enc
+	s.mu.Unlock()
+	return enc, nil
+}
+
+// Index returns the (cached) vector-level embedding index of one encoding.
+func (s *Session) Index(circuit string, L int) (*stateskip.VecEmbeddings, error) {
+	s.mu.Lock()
+	if idx, ok := s.idxs[encKey{circuit, L}]; ok {
+		s.mu.Unlock()
+		return idx, nil
+	}
+	s.mu.Unlock()
+	enc, err := s.Encoding(circuit, L)
+	if err != nil {
+		return nil, err
+	}
+	idx := stateskip.ScanEmbeddings(enc)
+	s.mu.Lock()
+	s.idxs[encKey{circuit, L}] = idx
+	s.mu.Unlock()
+	return idx, nil
+}
+
+// Reduce runs useful-segment selection for a cached encoding, reusing the
+// cached embedding index.
+func (s *Session) Reduce(circuit string, L, S, k int) (*stateskip.Reduction, error) {
+	enc, err := s.Encoding(circuit, L)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := s.Index(circuit, L)
+	if err != nil {
+		return nil, err
+	}
+	return stateskip.ReduceWithIndex(enc, idx, stateskip.DefaultOptions(S, k))
+}
+
+// BestReduction tries every (S, k) combination and returns the reduction
+// with the shortest TSL — the "best results for the various values of S, k"
+// selection of the paper's Table 2.
+func (s *Session) BestReduction(circuit string, L int, Ss, Ks []int) (*stateskip.Reduction, error) {
+	var best *stateskip.Reduction
+	for _, S := range Ss {
+		if S > L {
+			continue
+		}
+		for _, k := range Ks {
+			red, err := s.Reduce(circuit, L, S, k)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || red.TSL() < best.TSL() {
+				best = red
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("experiments: no feasible (S,k) for %s L=%d", circuit, L)
+	}
+	return best, nil
+}

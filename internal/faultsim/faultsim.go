@@ -1,0 +1,202 @@
+// Package faultsim provides the single stuck-at fault universe and a
+// 64-way bit-parallel fault simulator over internal/netlist circuits — the
+// second half of the Atalanta substitute (DESIGN.md §2). The ATPG package
+// uses it to drop detected faults, and tests use it to confirm that every
+// cube the flow produces really detects its target fault.
+package faultsim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Fault is a single stuck-at fault on a gate output or a gate input pin.
+type Fault struct {
+	Gate  int // gate index in the netlist
+	Pin   int // -1 = output fault, otherwise fan-in pin index
+	Stuck uint8
+}
+
+func (f Fault) String() string {
+	loc := "out"
+	if f.Pin >= 0 {
+		loc = fmt.Sprintf("in%d", f.Pin)
+	}
+	return fmt.Sprintf("g%d.%s/sa%d", f.Gate, loc, f.Stuck)
+}
+
+// Universe lists the faults of a circuit after structural equivalence
+// collapsing.
+type Universe struct {
+	Net    *netlist.Netlist
+	Faults []Fault
+}
+
+// NewUniverse builds the collapsed stuck-at fault list.
+//
+// Collapsing rules (standard dominance-free structural equivalences):
+// every gate output gets sa0+sa1; gate input-pin faults are kept only on
+// fan-out stems' branches — an input pin fed by a signal with fan-out 1 is
+// equivalent to the driver's output fault and is dropped. For inverters
+// and buffers, input faults are always equivalent to output faults and are
+// dropped too.
+func NewUniverse(n *netlist.Netlist) *Universe {
+	fanout := make([]int, n.NumGates())
+	for _, g := range n.Gates {
+		for _, f := range g.Fanin {
+			fanout[f]++
+		}
+	}
+	for _, o := range n.Outputs {
+		fanout[o]++
+	}
+	u := &Universe{Net: n}
+	for gi, g := range n.Gates {
+		if g.Type != netlist.Input || fanout[gi] > 0 {
+			u.Faults = append(u.Faults, Fault{Gate: gi, Pin: -1, Stuck: 0}, Fault{Gate: gi, Pin: -1, Stuck: 1})
+		}
+		if g.Type == netlist.Buf || g.Type == netlist.Not {
+			continue
+		}
+		for pin, f := range g.Fanin {
+			if fanout[f] > 1 {
+				u.Faults = append(u.Faults, Fault{Gate: gi, Pin: pin, Stuck: 0}, Fault{Gate: gi, Pin: pin, Stuck: 1})
+			}
+		}
+	}
+	return u
+}
+
+// Simulator evaluates up to 64 test patterns at once against the fault-free
+// circuit and, fault by fault, against the faulty one (serial fault,
+// parallel pattern — Atalanta's scheme).
+type Simulator struct {
+	u      *Universe
+	order  []int
+	good   []uint64 // fault-free value per gate, bit i = pattern i
+	bad    []uint64 // scratch for faulty simulation
+	buf    []uint64
+	loaded uint64 // mask of valid pattern lanes
+}
+
+// NewSimulator prepares a simulator for the universe's netlist.
+func NewSimulator(u *Universe) (*Simulator, error) {
+	order, err := u.Net.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	ng := u.Net.NumGates()
+	return &Simulator{u: u, order: order, good: make([]uint64, ng), bad: make([]uint64, ng)}, nil
+}
+
+// LoadPatterns bit-slices up to 64 fully specified patterns (each of length
+// len(Inputs)) and runs the fault-free simulation.
+func (s *Simulator) LoadPatterns(patterns [][]uint8) error {
+	if len(patterns) == 0 || len(patterns) > 64 {
+		return fmt.Errorf("faultsim: %d patterns (want 1..64)", len(patterns))
+	}
+	n := s.u.Net
+	for gi := range s.good {
+		s.good[gi] = 0
+	}
+	for pi, p := range patterns {
+		if len(p) != len(n.Inputs) {
+			return fmt.Errorf("faultsim: pattern %d has %d bits, want %d", pi, len(p), len(n.Inputs))
+		}
+		for ii, gi := range n.Inputs {
+			if p[ii]&1 != 0 {
+				s.good[gi] |= 1 << uint(pi)
+			}
+		}
+	}
+	if len(patterns) == 64 {
+		s.loaded = ^uint64(0)
+	} else {
+		s.loaded = 1<<uint(len(patterns)) - 1
+	}
+	s.evalInto(s.good, -1, Fault{})
+	return nil
+}
+
+// evalInto evaluates the circuit into dst. If faultGate ≥ 0, the given
+// fault is injected.
+func (s *Simulator) evalInto(dst []uint64, faultGate int, f Fault) {
+	n := s.u.Net
+	for _, gi := range s.order {
+		g := &n.Gates[gi]
+		if g.Type == netlist.Input {
+			dst[gi] = s.good[gi] // inputs always take the pattern values
+		} else {
+			s.buf = s.buf[:0]
+			for pin, fi := range g.Fanin {
+				fv := dst[fi]
+				if faultGate == gi && f.Pin == pin {
+					fv = stuckWord(f.Stuck)
+				}
+				s.buf = append(s.buf, fv)
+			}
+			dst[gi] = g.Type.EvalWord(s.buf)
+		}
+		if faultGate == gi && f.Pin == -1 {
+			dst[gi] = stuckWord(f.Stuck)
+		}
+	}
+}
+
+func stuckWord(b uint8) uint64 {
+	if b != 0 {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// DetectMask simulates one fault against the loaded patterns and returns a
+// bitmask of the patterns that detect it (differ on some primary output).
+func (s *Simulator) DetectMask(f Fault) uint64 {
+	copy(s.bad, s.good)
+	s.evalInto(s.bad, f.Gate, f)
+	var mask uint64
+	for _, o := range s.u.Net.Outputs {
+		mask |= s.good[o] ^ s.bad[o]
+	}
+	return mask & s.loaded
+}
+
+// Coverage runs every fault of the universe against the given fully
+// specified patterns (batched 64 at a time) and returns per-fault
+// detection plus the coverage fraction.
+func Coverage(u *Universe, patterns [][]uint8) (detected []bool, coverage float64, err error) {
+	sim, err := NewSimulator(u)
+	if err != nil {
+		return nil, 0, err
+	}
+	detected = make([]bool, len(u.Faults))
+	for start := 0; start < len(patterns); start += 64 {
+		end := start + 64
+		if end > len(patterns) {
+			end = len(patterns)
+		}
+		if err := sim.LoadPatterns(patterns[start:end]); err != nil {
+			return nil, 0, err
+		}
+		for fi, f := range u.Faults {
+			if detected[fi] {
+				continue
+			}
+			if sim.DetectMask(f) != 0 {
+				detected[fi] = true
+			}
+		}
+	}
+	nd := 0
+	for _, d := range detected {
+		if d {
+			nd++
+		}
+	}
+	if len(u.Faults) > 0 {
+		coverage = float64(nd) / float64(len(u.Faults))
+	}
+	return detected, coverage, nil
+}

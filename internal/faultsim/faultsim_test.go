@@ -1,0 +1,160 @@
+package faultsim
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/prng"
+)
+
+func andOr(t testing.TB) *netlist.Netlist {
+	t.Helper()
+	n := netlist.New()
+	n.AddInput("a")
+	n.AddInput("b")
+	n.AddInput("c")
+	if _, err := n.AddGate("ab", netlist.And, "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddGate("y", netlist.Or, "ab", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MarkOutput("y"); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestUniverseCollapsing(t *testing.T) {
+	n := andOr(t)
+	u := NewUniverse(n)
+	// No fan-out stems here (every signal drives one load), so only output
+	// faults survive: 5 signals × 2 = 10 faults.
+	if len(u.Faults) != 10 {
+		t.Errorf("got %d faults, want 10: %v", len(u.Faults), u.Faults)
+	}
+}
+
+func TestUniverseKeepsBranchFaults(t *testing.T) {
+	n := netlist.New()
+	n.AddInput("a")
+	n.AddInput("b")
+	n.AddGate("p", netlist.And, "a", "b")
+	n.AddGate("q", netlist.Or, "a", "b") // a and b fan out to two gates
+	n.MarkOutput("p")
+	n.MarkOutput("q")
+	u := NewUniverse(n)
+	// 4 signals × 2 output faults + 2 gates × 2 pins × 2 branch faults.
+	if len(u.Faults) != 8+8 {
+		t.Errorf("got %d faults, want 16", len(u.Faults))
+	}
+}
+
+func TestDetectMaskKnownFault(t *testing.T) {
+	n := andOr(t)
+	u := NewUniverse(n)
+	sim, err := NewSimulator(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pattern (1,1,0) sets ab=1, y=1. Fault ab/sa0 flips y → detected.
+	// Pattern (0,0,1) gives y=1 via c; ab/sa0 is not observable.
+	if err := sim.LoadPatterns([][]uint8{{1, 1, 0}, {0, 0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	abIdx, _ := n.Index("ab")
+	mask := sim.DetectMask(Fault{Gate: abIdx, Pin: -1, Stuck: 0})
+	if mask != 0b01 {
+		t.Errorf("detect mask = %b, want 01", mask)
+	}
+	// y stuck-at-1 is detected only where y would be 0: neither pattern.
+	yIdx, _ := n.Index("y")
+	if m := sim.DetectMask(Fault{Gate: yIdx, Pin: -1, Stuck: 1}); m != 0 {
+		t.Errorf("y/sa1 mask = %b, want 0", m)
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	// DetectMask over a 64-pattern batch must equal the OR of single-pattern
+	// simulations.
+	nl, err := netlist.Random(netlist.RandomConfig{Inputs: 16, Outputs: 5, Gates: 60, MaxFan: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewUniverse(nl)
+	sim, _ := NewSimulator(u)
+	src := prng.New(3)
+	patterns := make([][]uint8, 64)
+	for i := range patterns {
+		p := make([]uint8, 16)
+		for j := range p {
+			p[j] = src.Bit()
+		}
+		patterns[i] = p
+	}
+	if err := sim.LoadPatterns(patterns); err != nil {
+		t.Fatal(err)
+	}
+	serial, _ := NewSimulator(u)
+	for _, f := range u.Faults[:40] {
+		batch := sim.DetectMask(f)
+		for pi, p := range patterns {
+			if err := serial.LoadPatterns([][]uint8{p}); err != nil {
+				t.Fatal(err)
+			}
+			got := serial.DetectMask(f) & 1
+			want := batch >> uint(pi) & 1
+			if got != want {
+				t.Fatalf("fault %v pattern %d: serial %d vs batch %d", f, pi, got, want)
+			}
+		}
+	}
+}
+
+func TestCoverageExhaustivePatterns(t *testing.T) {
+	// All 8 input patterns of the AND-OR circuit detect every fault.
+	n := andOr(t)
+	u := NewUniverse(n)
+	var patterns [][]uint8
+	for v := 0; v < 8; v++ {
+		patterns = append(patterns, []uint8{uint8(v) & 1, uint8(v>>1) & 1, uint8(v>>2) & 1})
+	}
+	_, cov, err := Coverage(u, patterns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov != 1.0 {
+		t.Errorf("exhaustive coverage = %.3f, want 1.0", cov)
+	}
+}
+
+func TestLoadPatternsValidation(t *testing.T) {
+	n := andOr(t)
+	sim, _ := NewSimulator(NewUniverse(n))
+	if err := sim.LoadPatterns(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if err := sim.LoadPatterns([][]uint8{{1, 0}}); err == nil {
+		t.Error("short pattern accepted")
+	}
+}
+
+func BenchmarkFaultSim64Patterns(b *testing.B) {
+	nl, _ := netlist.Random(netlist.RandomConfig{Inputs: 64, Outputs: 16, Gates: 600, MaxFan: 3, Seed: 5})
+	u := NewUniverse(nl)
+	sim, _ := NewSimulator(u)
+	src := prng.New(1)
+	patterns := make([][]uint8, 64)
+	for i := range patterns {
+		p := make([]uint8, 64)
+		for j := range p {
+			p[j] = src.Bit()
+		}
+		patterns[i] = p
+	}
+	sim.LoadPatterns(patterns)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.DetectMask(u.Faults[i%len(u.Faults)])
+	}
+}

@@ -1,0 +1,218 @@
+package gf2
+
+import "fmt"
+
+// Poly is a polynomial over GF(2), packed little-endian: bit i is the
+// coefficient of x^i. The zero value is the zero polynomial.
+//
+// Polynomials only appear in this repository as LFSR characteristic
+// polynomials; the arithmetic here exists so we can verify, offline and
+// without factoring 2^n-1, that the tap tables in internal/lfsr define
+// irreducible polynomials (irreducibility is what the reseeding math needs;
+// the curated taps are additionally primitive per the published tables).
+type Poly struct {
+	bits Vec
+}
+
+// NewPoly returns a polynomial with the given exponents set, e.g.
+// NewPoly(4, 1, 0) is x^4 + x + 1.
+func NewPoly(exps ...int) Poly {
+	max := 0
+	for _, e := range exps {
+		if e < 0 {
+			panic(fmt.Sprintf("gf2: negative exponent %d", e))
+		}
+		if e > max {
+			max = e
+		}
+	}
+	v := NewVec(max + 1)
+	for _, e := range exps {
+		v.FlipBit(e) // repeated exponents cancel, as in GF(2)
+	}
+	return Poly{bits: v}
+}
+
+// Degree returns the degree of p, or -1 for the zero polynomial.
+func (p Poly) Degree() int {
+	for i := p.bits.Len() - 1; i >= 0; i-- {
+		if p.bits.Bit(i) != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Coeff returns the coefficient of x^i.
+func (p Poly) Coeff(i int) uint8 {
+	if i < 0 || i >= p.bits.Len() {
+		return 0
+	}
+	return p.bits.Bit(i)
+}
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return p.bits.IsZero() }
+
+// Equal reports whether p and q denote the same polynomial (lengths may
+// differ; trailing zero coefficients are ignored).
+func (p Poly) Equal(q Poly) bool {
+	d := p.Degree()
+	if d != q.Degree() {
+		return false
+	}
+	for i := 0; i <= d; i++ {
+		if p.Coeff(i) != q.Coeff(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders p like "x^4 + x + 1".
+func (p Poly) String() string {
+	d := p.Degree()
+	if d < 0 {
+		return "0"
+	}
+	s := ""
+	for i := d; i >= 0; i-- {
+		if p.Coeff(i) == 0 {
+			continue
+		}
+		if s != "" {
+			s += " + "
+		}
+		switch i {
+		case 0:
+			s += "1"
+		case 1:
+			s += "x"
+		default:
+			s += fmt.Sprintf("x^%d", i)
+		}
+	}
+	return s
+}
+
+// Add returns p + q (which over GF(2) is also p - q).
+func (p Poly) Add(q Poly) Poly {
+	n := p.bits.Len()
+	if q.bits.Len() > n {
+		n = q.bits.Len()
+	}
+	v := NewVec(n)
+	for i := 0; i < n; i++ {
+		v.SetBit(i, p.Coeff(i)^q.Coeff(i))
+	}
+	return Poly{bits: v}
+}
+
+// Mul returns p·q (carry-less multiplication).
+func (p Poly) Mul(q Poly) Poly {
+	dp, dq := p.Degree(), q.Degree()
+	if dp < 0 || dq < 0 {
+		return Poly{bits: NewVec(1)}
+	}
+	v := NewVec(dp + dq + 1)
+	for i := 0; i <= dp; i++ {
+		if p.Coeff(i) == 0 {
+			continue
+		}
+		for j := 0; j <= dq; j++ {
+			if q.Coeff(j) != 0 {
+				v.FlipBit(i + j)
+			}
+		}
+	}
+	return Poly{bits: v}
+}
+
+// Mod returns p mod m. m must be nonzero.
+func (p Poly) Mod(m Poly) Poly {
+	dm := m.Degree()
+	if dm < 0 {
+		panic("gf2: polynomial division by zero")
+	}
+	r := Poly{bits: p.bits.Clone()}
+	for {
+		dr := r.Degree()
+		if dr < dm {
+			break
+		}
+		shift := dr - dm
+		for i := 0; i <= dm; i++ {
+			if m.Coeff(i) != 0 {
+				r.bits.FlipBit(i + shift)
+			}
+		}
+	}
+	return r
+}
+
+// MulMod returns p·q mod m.
+func (p Poly) MulMod(q, m Poly) Poly { return p.Mul(q).Mod(m) }
+
+// GCD returns the greatest common divisor of p and q (monic by construction
+// over GF(2)).
+func PolyGCD(p, q Poly) Poly {
+	for !q.IsZero() {
+		p, q = q, p.Mod(q)
+	}
+	return p
+}
+
+// XPowMod returns x^(2^e) mod m by repeated squaring, the workhorse of the
+// irreducibility test.
+func XPowMod2e(e int, m Poly) Poly {
+	r := NewPoly(1).Mod(m) // x mod m
+	for i := 0; i < e; i++ {
+		r = r.MulMod(r, m)
+	}
+	return r
+}
+
+// Irreducible reports whether p (degree n ≥ 1) is irreducible over GF(2),
+// using Rabin's test: x^(2^n) ≡ x (mod p), and for every prime divisor q of
+// n, gcd(x^(2^(n/q)) - x, p) = 1.
+func Irreducible(p Poly) bool {
+	n := p.Degree()
+	if n < 1 {
+		return false
+	}
+	if n == 1 {
+		return true // x and x+1
+	}
+	if p.Coeff(0) == 0 {
+		return false // divisible by x
+	}
+	x := NewPoly(1)
+	// x^(2^n) mod p must equal x.
+	if !XPowMod2e(n, p).Equal(x.Mod(p)) {
+		return false
+	}
+	for _, q := range primeDivisors(n) {
+		t := XPowMod2e(n/q, p).Add(x)
+		g := PolyGCD(p, t)
+		if g.Degree() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func primeDivisors(n int) []int {
+	var ps []int
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			ps = append(ps, d)
+			for n%d == 0 {
+				n /= d
+			}
+		}
+	}
+	if n > 1 {
+		ps = append(ps, n)
+	}
+	return ps
+}

@@ -1,0 +1,191 @@
+package gf2
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func TestPolyBasics(t *testing.T) {
+	p := NewPoly(4, 1, 0) // x^4 + x + 1
+	if p.Degree() != 4 {
+		t.Errorf("degree = %d", p.Degree())
+	}
+	if p.String() != "x^4 + x + 1" {
+		t.Errorf("String = %q", p.String())
+	}
+	if p.Coeff(4) != 1 || p.Coeff(2) != 0 || p.Coeff(0) != 1 || p.Coeff(99) != 0 {
+		t.Error("coefficients wrong")
+	}
+	// Repeated exponents cancel over GF(2).
+	if !NewPoly(3, 3, 1).Equal(NewPoly(1)) {
+		t.Error("x^3 + x^3 + x != x")
+	}
+	zero := NewPoly(2).Add(NewPoly(2))
+	if !zero.IsZero() || zero.Degree() != -1 || zero.String() != "0" {
+		t.Error("zero polynomial misbehaves")
+	}
+}
+
+func TestPolyAddSelfInverse(t *testing.T) {
+	f := func(a, b uint16) bool {
+		p := polyFromBits(uint64(a))
+		q := polyFromBits(uint64(b))
+		return p.Add(q).Add(q).Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func polyFromBits(bits uint64) Poly {
+	var exps []int
+	for i := 0; i < 64; i++ {
+		if bits>>uint(i)&1 == 1 {
+			exps = append(exps, i)
+		}
+	}
+	if len(exps) == 0 {
+		return NewPoly().Add(NewPoly()) // zero
+	}
+	return NewPoly(exps...)
+}
+
+func TestPolyMulKnown(t *testing.T) {
+	// (x+1)(x+1) = x^2 + 1 over GF(2).
+	sq := NewPoly(1, 0).Mul(NewPoly(1, 0))
+	if !sq.Equal(NewPoly(2, 0)) {
+		t.Errorf("(x+1)^2 = %v", sq)
+	}
+	// (x^2+x+1)(x+1) = x^3 + 1.
+	p := NewPoly(2, 1, 0).Mul(NewPoly(1, 0))
+	if !p.Equal(NewPoly(3, 0)) {
+		t.Errorf("got %v", p)
+	}
+}
+
+func TestPolyMulCommutesAndDistributes(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		p, q, r := polyFromBits(uint64(a)), polyFromBits(uint64(b)), polyFromBits(uint64(c))
+		if !p.Mul(q).Equal(q.Mul(p)) {
+			return false
+		}
+		left := p.Mul(q.Add(r))
+		right := p.Mul(q).Add(p.Mul(r))
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyModEuclid(t *testing.T) {
+	// p mod m has degree < deg m, and p = q·m + r is verified by
+	// re-multiplying: (p - r) must be divisible by m (i.e. (p+r) mod m = 0).
+	src := prng.New(17)
+	for trial := 0; trial < 200; trial++ {
+		p := polyFromBits(src.Uint64() & 0xffffff)
+		m := polyFromBits(src.Uint64()&0xffff | 0x8000) // degree 15 guaranteed
+		r := p.Mod(m)
+		if r.Degree() >= m.Degree() {
+			t.Fatalf("remainder degree %d ≥ modulus degree %d", r.Degree(), m.Degree())
+		}
+		if !p.Add(r).Mod(m).IsZero() {
+			t.Fatalf("p + (p mod m) not divisible by m")
+		}
+	}
+}
+
+func TestPolyGCDProperties(t *testing.T) {
+	// gcd(p, 0) = p; gcd divides both arguments.
+	p := NewPoly(5, 2, 0)
+	zero := polyFromBits(0)
+	if !PolyGCD(p, zero).Equal(p) {
+		t.Error("gcd(p, 0) != p")
+	}
+	src := prng.New(23)
+	for trial := 0; trial < 50; trial++ {
+		a := polyFromBits(src.Uint64() & 0xfffff)
+		b := polyFromBits(src.Uint64() & 0xfffff)
+		if a.IsZero() || b.IsZero() {
+			continue
+		}
+		g := PolyGCD(a, b)
+		if g.IsZero() {
+			t.Fatal("gcd of nonzero polys is zero")
+		}
+		if !a.Mod(g).IsZero() || !b.Mod(g).IsZero() {
+			t.Fatalf("gcd %v does not divide %v and %v", g, a, b)
+		}
+	}
+}
+
+func TestIrreducibleKnownCases(t *testing.T) {
+	irreducible := []Poly{
+		NewPoly(1, 0),          // x + 1
+		NewPoly(2, 1, 0),       // x^2 + x + 1
+		NewPoly(3, 1, 0),       // x^3 + x + 1
+		NewPoly(4, 1, 0),       // x^4 + x + 1
+		NewPoly(8, 4, 3, 1, 0), // the AES polynomial
+	}
+	for _, p := range irreducible {
+		if !Irreducible(p) {
+			t.Errorf("%v reported reducible", p)
+		}
+	}
+	reducible := []Poly{
+		NewPoly(2, 0),       // (x+1)^2
+		NewPoly(4, 3, 1, 0), // divisible by x+1 (even term count... check: 1+1+1+1=0 at x=1 → divisible)
+		NewPoly(4),          // x^4
+		NewPoly(5, 4, 1, 0), // has factor x+1 (even number of terms)
+		NewPoly(6, 0),       // x^6+1 = (x^3+1)^2
+	}
+	for _, p := range reducible {
+		if Irreducible(p) {
+			t.Errorf("%v reported irreducible", p)
+		}
+	}
+	if Irreducible(NewPoly(3)) { // x^3, no constant term
+		t.Error("x^3 reported irreducible")
+	}
+}
+
+func TestIrreducibleAgreesWithFactorCount(t *testing.T) {
+	// Exhaustive check against trial division for all degree ≤ 10 polys
+	// with constant term (sampling every 7th to keep the test fast).
+	for bits := uint64(1); bits < 1<<11; bits += 7 {
+		p := polyFromBits(bits*2 + 1) // ensure constant term
+		d := p.Degree()
+		if d < 2 || d > 10 {
+			continue
+		}
+		want := true
+		for fb := uint64(2); fb < 1<<uint(d); fb++ {
+			f := polyFromBits(fb)
+			if f.Degree() < 1 {
+				continue
+			}
+			if p.Mod(f).IsZero() {
+				want = false
+				break
+			}
+		}
+		if got := Irreducible(p); got != want {
+			t.Errorf("%v: Irreducible=%v, trial division says %v", p, got, want)
+		}
+	}
+}
+
+func TestXPowMod2e(t *testing.T) {
+	// x^(2^e) mod m computed by squaring must equal naive exponentiation.
+	m := NewPoly(8, 4, 3, 1, 0)
+	naive := NewPoly(1).Mod(m)
+	for e := 0; e <= 6; e++ {
+		got := XPowMod2e(e, m)
+		if !got.Equal(naive) {
+			t.Fatalf("e=%d: %v != %v", e, got, naive)
+		}
+		naive = naive.MulMod(naive, m)
+	}
+}

@@ -1,0 +1,275 @@
+package gf2
+
+import "fmt"
+
+// Equation is one linear constraint over n seed variables:
+// Coeffs·a = RHS, where a is the vector of variables.
+//
+// Coeffs is treated as read-only by the solver; callers may share one Vec
+// between many equations (e.g. the precomputed symbolic output table of an
+// LFSR + phase shifter).
+type Equation struct {
+	Coeffs Vec
+	RHS    uint8
+}
+
+// Solver is an incremental Gaussian eliminator over GF(2).
+//
+// It maintains a basis of constraint rows in reduced row-echelon form, keyed
+// by pivot column (the lowest set coefficient bit of each row). New
+// constraints can be tested for consistency against the current basis
+// without mutating it (Check) or folded in permanently (Add/AddSystem).
+//
+// This is the engine behind LFSR reseeding: each specified bit of a test
+// cube contributes one Equation relating the LFSR seed variables, and a cube
+// is encodable at a window position iff the resulting system is consistent
+// with everything already committed to the seed.
+type Solver struct {
+	n     int
+	rows  []Vec   // indexed by pivot column; rows[p].Len()==0 means no row
+	rhs   []uint8 // rhs[p] is the right-hand side of rows[p]
+	rank  int
+	order []int // pivots in insertion order, for diagnostics
+}
+
+// NewSolver returns an empty solver over n variables.
+func NewSolver(n int) *Solver {
+	if n <= 0 {
+		panic(fmt.Sprintf("gf2: solver needs at least one variable, got %d", n))
+	}
+	return &Solver{
+		n:    n,
+		rows: make([]Vec, n),
+		rhs:  make([]uint8, n),
+	}
+}
+
+// N returns the number of variables.
+func (s *Solver) N() int { return s.n }
+
+// Rank returns the number of independent constraints committed so far.
+func (s *Solver) Rank() int { return s.rank }
+
+// FreeVars returns the number of still-unconstrained dimensions (n - rank).
+func (s *Solver) FreeVars() int { return s.n - s.rank }
+
+// Clone returns an independent deep copy of the solver.
+func (s *Solver) Clone() *Solver {
+	c := &Solver{
+		n:    s.n,
+		rows: make([]Vec, s.n),
+		rhs:  make([]uint8, s.n),
+		rank: s.rank,
+	}
+	copy(c.rhs, s.rhs)
+	for i, r := range s.rows {
+		if r.Len() != 0 {
+			c.rows[i] = r.Clone()
+		}
+	}
+	c.order = append([]int(nil), s.order...)
+	return c
+}
+
+// Reset discards all constraints.
+func (s *Solver) Reset() {
+	for i := range s.rows {
+		s.rows[i] = Vec{}
+		s.rhs[i] = 0
+	}
+	s.rank = 0
+	s.order = s.order[:0]
+}
+
+// reduceInto copies eq into dst (which must be an n-bit scratch vector) and
+// reduces it against the basis. It returns the reduced RHS. After the call,
+// dst holds the reduced coefficients; if dst is zero the equation is
+// dependent (consistent iff returned rhs is 0), otherwise dst.FirstSet() is
+// a fresh pivot.
+func (s *Solver) reduceInto(dst Vec, eq Equation) uint8 {
+	dst.CopyFrom(eq.Coeffs)
+	r := eq.RHS & 1
+	for b := dst.FirstSet(); b >= 0; b = dst.NextSet(b + 1) {
+		if row := s.rows[b]; row.Len() != 0 {
+			dst.Xor(row)
+			r ^= s.rhs[b]
+		}
+	}
+	return r
+}
+
+// Add folds one equation into the basis. It returns (added, consistent):
+// added is true when the equation was independent and increased the rank;
+// consistent is false when the equation contradicts the basis (in which
+// case the basis is left unchanged).
+func (s *Solver) Add(eq Equation) (added, consistent bool) {
+	scratch := NewVec(s.n)
+	r := s.reduceInto(scratch, eq)
+	if scratch.IsZero() {
+		return false, r == 0
+	}
+	p := scratch.FirstSet()
+	// Keep reduced row-echelon form: clear the new pivot from all existing
+	// rows so Solution extraction stays a single pass.
+	for i, row := range s.rows {
+		if row.Len() != 0 && i != p && row.Bit(p) != 0 {
+			row.Xor(scratch)
+			s.rhs[i] ^= r
+		}
+	}
+	s.rows[p] = scratch
+	s.rhs[p] = r
+	s.rank++
+	s.order = append(s.order, p)
+	return true, true
+}
+
+// AddSystem folds a set of equations in atomically: either all equations
+// are consistent (some may be dependent) and the basis absorbs them,
+// returning (rankIncrease, true) — or the system contradicts the basis and
+// the basis is left untouched, returning (0, false).
+func (s *Solver) AddSystem(eqs []Equation) (rankIncrease int, consistent bool) {
+	var sc CheckScratch
+	inc, ok := s.Check(eqs, &sc)
+	if !ok {
+		return 0, false
+	}
+	for _, eq := range eqs {
+		if _, ok := s.Add(eq); !ok {
+			// Cannot happen: Check just validated the whole system.
+			panic("gf2: AddSystem inconsistency after successful Check")
+		}
+	}
+	return inc, true
+}
+
+// CheckScratch holds reusable buffers for Check so that hot candidate scans
+// allocate nothing after warm-up. A CheckScratch must not be shared between
+// goroutines; give each worker its own.
+type CheckScratch struct {
+	overlay     []Vec   // overlay rows keyed by pivot, lazily sized to n
+	overlayRHS  []uint8 // RHS of overlay rows
+	overlaySet  []int   // pivots currently occupied in overlay
+	rowPool     []Vec   // recycled n-bit vectors
+	rowPoolNext int
+}
+
+func (sc *CheckScratch) init(n int) {
+	if len(sc.overlay) < n {
+		sc.overlay = make([]Vec, n)
+		sc.overlayRHS = make([]uint8, n)
+	}
+	sc.overlaySet = sc.overlaySet[:0]
+	sc.rowPoolNext = 0
+}
+
+func (sc *CheckScratch) getRow(n int) Vec {
+	if sc.rowPoolNext < len(sc.rowPool) {
+		v := sc.rowPool[sc.rowPoolNext]
+		sc.rowPoolNext++
+		v.Zero()
+		return v
+	}
+	v := NewVec(n)
+	sc.rowPool = append(sc.rowPool, v)
+	sc.rowPoolNext = len(sc.rowPool)
+	return v
+}
+
+// Check tests whether the system eqs is consistent with the basis without
+// mutating the basis. It returns the rank increase the system would cause
+// and whether it is consistent. Equations within eqs may depend on each
+// other; the overlay in scratch tracks that.
+func (s *Solver) Check(eqs []Equation, scratch *CheckScratch) (rankIncrease int, consistent bool) {
+	scratch.init(s.n)
+	defer func() {
+		for _, p := range scratch.overlaySet {
+			scratch.overlay[p] = Vec{}
+		}
+	}()
+	for _, eq := range eqs {
+		dst := scratch.getRow(s.n)
+		dst.CopyFrom(eq.Coeffs)
+		r := eq.RHS & 1
+		for b := dst.FirstSet(); b >= 0; b = dst.NextSet(b + 1) {
+			if row := s.rows[b]; row.Len() != 0 {
+				dst.Xor(row)
+				r ^= s.rhs[b]
+				continue
+			}
+			if row := scratch.overlay[b]; row.Len() != 0 {
+				dst.Xor(row)
+				r ^= scratch.overlayRHS[b]
+			}
+		}
+		if dst.IsZero() {
+			if r != 0 {
+				return 0, false
+			}
+			scratch.rowPoolNext-- // recycle immediately
+			continue
+		}
+		p := dst.FirstSet()
+		scratch.overlay[p] = dst
+		scratch.overlayRHS[p] = r
+		scratch.overlaySet = append(scratch.overlaySet, p)
+	}
+	return len(scratch.overlaySet), true
+}
+
+// Solution produces one full assignment of the n variables satisfying every
+// committed constraint. Free variables are assigned by fillFree (called with
+// the variable index); pass a deterministic PRNG-backed function for
+// reproducible pseudorandom fill, or func(int) uint8 { return 0 } for the
+// minimal solution.
+func (s *Solver) Solution(fillFree func(varIdx int) uint8) Vec {
+	sol := NewVec(s.n)
+	// Assign free variables first.
+	for i := 0; i < s.n; i++ {
+		if s.rows[i].Len() == 0 {
+			sol.SetBit(i, fillFree(i)&1)
+		}
+	}
+	// Pivot variables follow directly from the RREF rows:
+	// row = pivot + Σ free terms, so a_p = rhs ⊕ Σ a_free.
+	for p := 0; p < s.n; p++ {
+		row := s.rows[p]
+		if row.Len() == 0 {
+			continue
+		}
+		v := s.rhs[p]
+		for b := row.NextSet(p + 1); b >= 0; b = row.NextSet(b + 1) {
+			v ^= sol.Bit(b)
+		}
+		sol.SetBit(p, v)
+	}
+	return sol
+}
+
+// Satisfies reports whether the assignment sol satisfies every committed
+// constraint. Primarily a verification hook for tests.
+func (s *Solver) Satisfies(sol Vec) bool {
+	if sol.Len() != s.n {
+		return false
+	}
+	for p, row := range s.rows {
+		if row.Len() == 0 {
+			continue
+		}
+		if row.Dot(sol) != s.rhs[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// Pivots returns the pivot columns currently in the basis, ascending.
+func (s *Solver) Pivots() []int {
+	ps := make([]int, 0, s.rank)
+	for p, row := range s.rows {
+		if row.Len() != 0 {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}

@@ -1,0 +1,238 @@
+package gf2
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func eq(coeffs string, rhs uint8) Equation {
+	v, err := FromString(coeffs)
+	if err != nil {
+		panic(err)
+	}
+	return Equation{Coeffs: v, RHS: rhs}
+}
+
+func TestSolverBasicConsistency(t *testing.T) {
+	s := NewSolver(3)
+	// a0 ^ a1 = 1
+	if added, ok := s.Add(eq("110", 1)); !added || !ok {
+		t.Fatal("first equation rejected")
+	}
+	// a1 ^ a2 = 0
+	if added, ok := s.Add(eq("011", 0)); !added || !ok {
+		t.Fatal("second equation rejected")
+	}
+	// dependent: a0 ^ a2 = 1 (sum of the two)
+	if added, ok := s.Add(eq("101", 1)); added || !ok {
+		t.Fatalf("dependent consistent equation mishandled: added=%v ok=%v", added, ok)
+	}
+	// contradictory: a0 ^ a2 = 0
+	if _, ok := s.Add(eq("101", 0)); ok {
+		t.Fatal("contradiction accepted")
+	}
+	if s.Rank() != 2 {
+		t.Errorf("rank = %d, want 2", s.Rank())
+	}
+	sol := s.Solution(func(int) uint8 { return 0 })
+	if sol.Bit(0)^sol.Bit(1) != 1 || sol.Bit(1)^sol.Bit(2) != 0 {
+		t.Errorf("solution %v violates constraints", sol)
+	}
+}
+
+func TestSolverSolutionSatisfies(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := prng.New(seed)
+		n := 20
+		s := NewSolver(n)
+		// Generate a known satisfiable system: pick a hidden assignment and
+		// derive equations from it.
+		hidden := randVec(src, n)
+		for i := 0; i < 15; i++ {
+			coeffs := randVec(src, n)
+			s.Add(Equation{Coeffs: coeffs, RHS: coeffs.Dot(hidden)})
+		}
+		sol := s.Solution(func(int) uint8 { return src.Bit() })
+		return s.Satisfies(sol)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolverHiddenAssignmentAlwaysConsistent(t *testing.T) {
+	// Equations all derived from one hidden assignment can never contradict.
+	f := func(seed uint64) bool {
+		src := prng.New(seed)
+		n := 24
+		s := NewSolver(n)
+		hidden := randVec(src, n)
+		for i := 0; i < 60; i++ {
+			coeffs := randVec(src, n)
+			if _, ok := s.Add(Equation{Coeffs: coeffs, RHS: coeffs.Dot(hidden)}); !ok {
+				return false
+			}
+		}
+		return s.Rank() <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckDoesNotMutate(t *testing.T) {
+	src := prng.New(42)
+	n := 16
+	s := NewSolver(n)
+	for i := 0; i < 8; i++ {
+		coeffs := randVec(src, n)
+		s.Add(Equation{Coeffs: coeffs, RHS: src.Bit()})
+	}
+	before := s.Clone()
+	var sc CheckScratch
+	for i := 0; i < 20; i++ {
+		eqs := []Equation{
+			{Coeffs: randVec(src, n), RHS: src.Bit()},
+			{Coeffs: randVec(src, n), RHS: src.Bit()},
+		}
+		s.Check(eqs, &sc)
+	}
+	if s.Rank() != before.Rank() {
+		t.Fatal("Check changed rank")
+	}
+	for p := 0; p < n; p++ {
+		if (s.rows[p].Len() == 0) != (before.rows[p].Len() == 0) {
+			t.Fatal("Check changed basis occupancy")
+		}
+		if s.rows[p].Len() != 0 && (!s.rows[p].Equal(before.rows[p]) || s.rhs[p] != before.rhs[p]) {
+			t.Fatal("Check changed basis contents")
+		}
+	}
+}
+
+func TestCheckAgreesWithCloneAdd(t *testing.T) {
+	// Check(eqs) must report exactly what sequentially Adding to a clone does.
+	f := func(seed uint64) bool {
+		src := prng.New(seed)
+		n := 12
+		s := NewSolver(n)
+		for i := 0; i < 6; i++ {
+			s.Add(Equation{Coeffs: randVec(src, n), RHS: src.Bit()})
+		}
+		eqs := make([]Equation, 4)
+		for i := range eqs {
+			eqs[i] = Equation{Coeffs: randVec(src, n), RHS: src.Bit()}
+		}
+		var sc CheckScratch
+		inc, ok := s.Check(eqs, &sc)
+
+		clone := s.Clone()
+		allOK := true
+		added := 0
+		for _, e := range eqs {
+			a, k := clone.Add(e)
+			if !k {
+				allOK = false
+				break
+			}
+			if a {
+				added++
+			}
+		}
+		if ok != allOK {
+			return false
+		}
+		return !ok || inc == added
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSystemAtomic(t *testing.T) {
+	s := NewSolver(3)
+	s.Add(eq("100", 0)) // a0 = 0
+	// System where second equation contradicts (a0=1): must not commit a1.
+	bad := []Equation{eq("010", 1), eq("100", 1)}
+	if _, ok := s.AddSystem(bad); ok {
+		t.Fatal("contradictory system accepted")
+	}
+	if s.Rank() != 1 {
+		t.Fatalf("AddSystem not atomic: rank=%d", s.Rank())
+	}
+	good := []Equation{eq("010", 1), eq("001", 1)}
+	inc, ok := s.AddSystem(good)
+	if !ok || inc != 2 {
+		t.Fatalf("good system rejected: inc=%d ok=%v", inc, ok)
+	}
+	sol := s.Solution(func(int) uint8 { return 1 })
+	if sol.Bit(0) != 0 || sol.Bit(1) != 1 || sol.Bit(2) != 1 {
+		t.Errorf("solution %v wrong", sol)
+	}
+}
+
+func TestSolverReset(t *testing.T) {
+	s := NewSolver(4)
+	s.Add(eq("1000", 1))
+	s.Reset()
+	if s.Rank() != 0 || s.FreeVars() != 4 {
+		t.Error("Reset incomplete")
+	}
+	if _, ok := s.Add(eq("1000", 0)); !ok {
+		t.Error("reset solver rejects fresh equation")
+	}
+}
+
+func TestSolverFullRankUniqueSolution(t *testing.T) {
+	// With n independent equations the solution is unique regardless of fill.
+	src := prng.New(77)
+	n := 10
+	var s *Solver
+	var hidden Vec
+	for {
+		s = NewSolver(n)
+		hidden = randVec(src, n)
+		for i := 0; i < 40 && s.Rank() < n; i++ {
+			coeffs := randVec(src, n)
+			s.Add(Equation{Coeffs: coeffs, RHS: coeffs.Dot(hidden)})
+		}
+		if s.Rank() == n {
+			break
+		}
+	}
+	zero := s.Solution(func(int) uint8 { return 0 })
+	one := s.Solution(func(int) uint8 { return 1 })
+	if !zero.Equal(one) || !zero.Equal(hidden) {
+		t.Error("full-rank system did not recover the hidden assignment")
+	}
+}
+
+func TestSolverPivots(t *testing.T) {
+	s := NewSolver(5)
+	s.Add(eq("00100", 1))
+	s.Add(eq("00110", 0))
+	ps := s.Pivots()
+	if len(ps) != 2 || ps[0] != 2 || ps[1] != 3 {
+		t.Errorf("Pivots = %v", ps)
+	}
+}
+
+func BenchmarkSolverCheck(b *testing.B) {
+	src := prng.New(1)
+	n := 85
+	s := NewSolver(n)
+	for i := 0; i < 40; i++ {
+		s.Add(Equation{Coeffs: randVec(src, n), RHS: src.Bit()})
+	}
+	eqs := make([]Equation, 20)
+	for i := range eqs {
+		eqs[i] = Equation{Coeffs: randVec(src, n), RHS: src.Bit()}
+	}
+	var sc CheckScratch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Check(eqs, &sc)
+	}
+}

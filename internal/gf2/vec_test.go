@@ -1,0 +1,201 @@
+package gf2
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func TestNewVecZero(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 130} {
+		v := NewVec(n)
+		if v.Len() != n {
+			t.Errorf("NewVec(%d).Len() = %d", n, v.Len())
+		}
+		if !v.IsZero() {
+			t.Errorf("NewVec(%d) not zero", n)
+		}
+		if v.PopCount() != 0 {
+			t.Errorf("NewVec(%d).PopCount() = %d", n, v.PopCount())
+		}
+	}
+}
+
+func TestSetGetBit(t *testing.T) {
+	v := NewVec(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 128, 129} {
+		v.SetBit(i, 1)
+		if v.Bit(i) != 1 {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if v.PopCount() != 7 {
+		t.Errorf("PopCount = %d, want 7", v.PopCount())
+	}
+	v.SetBit(64, 0)
+	if v.Bit(64) != 0 {
+		t.Errorf("bit 64 not cleared")
+	}
+	if v.PopCount() != 6 {
+		t.Errorf("PopCount after clear = %d, want 6", v.PopCount())
+	}
+}
+
+func TestBitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range Bit")
+		}
+	}()
+	NewVec(10).Bit(10)
+}
+
+func TestFromStringAndString(t *testing.T) {
+	v, err := FromString("1011_0001 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := v.String(), "101100011"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if v.PopCount() != 5 {
+		t.Errorf("PopCount = %d, want 5", v.PopCount())
+	}
+	if _, err := FromString("10x1"); err == nil {
+		t.Error("expected error for invalid character")
+	}
+}
+
+func TestXorSelfInverse(t *testing.T) {
+	src := prng.New(1)
+	v := randVec(src, 100)
+	w := randVec(src, 100)
+	orig := v.Clone()
+	v.Xor(w)
+	v.Xor(w)
+	if !v.Equal(orig) {
+		t.Error("x ^ w ^ w != x")
+	}
+}
+
+func TestFirstNextSet(t *testing.T) {
+	v := NewVec(200)
+	if v.FirstSet() != -1 {
+		t.Errorf("FirstSet of zero vec = %d", v.FirstSet())
+	}
+	for _, i := range []int{5, 63, 64, 190} {
+		v.SetBit(i, 1)
+	}
+	want := []int{5, 63, 64, 190}
+	var got []int
+	for i := v.FirstSet(); i >= 0; i = v.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("set-bit walk = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("set-bit walk = %v, want %v", got, want)
+		}
+	}
+	if v.NextSet(191) != -1 {
+		t.Errorf("NextSet past last = %d, want -1", v.NextSet(191))
+	}
+	if v.NextSet(-5) != 5 {
+		t.Errorf("NextSet(-5) = %d, want 5", v.NextSet(-5))
+	}
+}
+
+func TestSupport(t *testing.T) {
+	v := NewVec(70)
+	v.SetBit(0, 1)
+	v.SetBit(69, 1)
+	s := v.Support()
+	if len(s) != 2 || s[0] != 0 || s[1] != 69 {
+		t.Errorf("Support = %v", s)
+	}
+}
+
+func TestDotParity(t *testing.T) {
+	a, _ := FromString("1101")
+	b, _ := FromString("1011")
+	// common set bits: 0 and 3 → parity 0
+	if a.Dot(b) != 0 {
+		t.Errorf("Dot = %d, want 0", a.Dot(b))
+	}
+	c, _ := FromString("1000")
+	if a.Dot(c) != 1 {
+		t.Errorf("Dot = %d, want 1", a.Dot(c))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := NewVec(64)
+	w := v.Clone()
+	w.SetBit(3, 1)
+	if v.Bit(3) != 0 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestCopyFromAndZero(t *testing.T) {
+	src := prng.New(7)
+	v := randVec(src, 99)
+	w := NewVec(99)
+	w.CopyFrom(v)
+	if !w.Equal(v) {
+		t.Error("CopyFrom mismatch")
+	}
+	w.Zero()
+	if !w.IsZero() {
+		t.Error("Zero failed")
+	}
+}
+
+// Property: XOR is associative and commutative.
+func TestXorPropertyQuick(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := prng.New(seed)
+		a := randVec(src, 130)
+		b := randVec(src, 130)
+		c := randVec(src, 130)
+		// (a^b)^c
+		x := a.Clone()
+		x.Xor(b)
+		x.Xor(c)
+		// a^(c^b)
+		y := c.Clone()
+		y.Xor(b)
+		y.Xor(a)
+		return x.Equal(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PopCount(a^b) ≡ PopCount(a)+PopCount(b) (mod 2).
+func TestPopCountXorParity(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := prng.New(seed)
+		a := randVec(src, 200)
+		b := randVec(src, 200)
+		x := a.Clone()
+		x.Xor(b)
+		return x.PopCount()%2 == (a.PopCount()+b.PopCount())%2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func randVec(src *prng.Source, n int) Vec {
+	v := NewVec(n)
+	for i := range v.words {
+		v.words[i] = src.Uint64()
+	}
+	v.maskTail()
+	return v
+}

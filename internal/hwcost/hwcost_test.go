@@ -1,0 +1,127 @@
+package hwcost
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gf2"
+	"repro/internal/lfsr"
+	"repro/internal/prng"
+)
+
+func TestCostLinearIdentityFree(t *testing.T) {
+	net := CostLinear(gf2.Identity(8))
+	if net.NaiveXORs != 0 || net.CSEXORs != 0 {
+		t.Errorf("identity needs no XORs, got naive=%d cse=%d", net.NaiveXORs, net.CSEXORs)
+	}
+}
+
+func TestCostLinearSharing(t *testing.T) {
+	// Rows {0,1,2}, {0,1,3}, {0,1,2}: CSE builds a0^a1 once, then the
+	// duplicated rows 0 and 2 collapse onto the same shared signal, so the
+	// whole network needs 3 gates against 6 naive.
+	m := gf2.NewMat(3, 4)
+	for i := 0; i < 3; i++ {
+		m.Set(i, 0, 1)
+		m.Set(i, 1, 1)
+		m.Set(i, (i%2)+2, 1)
+	}
+	net := CostLinear(m)
+	if net.NaiveXORs != 6 {
+		t.Errorf("naive = %d, want 6", net.NaiveXORs)
+	}
+	if net.CSEXORs >= net.NaiveXORs {
+		t.Errorf("CSE (%d) did not beat naive (%d)", net.CSEXORs, net.NaiveXORs)
+	}
+	if net.CSEXORs != 3 {
+		t.Errorf("CSE = %d, want 3", net.CSEXORs)
+	}
+}
+
+func TestCSENeverWorse(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := prng.New(seed)
+		m := gf2.NewMat(12, 12)
+		for i := 0; i < 12; i++ {
+			for j := 0; j < 12; j++ {
+				if src.Bit() == 1 {
+					m.Set(i, j, 1)
+				}
+			}
+		}
+		net := CostLinear(m)
+		return net.CSEXORs <= net.NaiveXORs && net.CSEXORs >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSkipCircuitCostTrend reproduces the paper's §4 observation on s13207's
+// n=24 register: skip-circuit cost grows mildly with k and stays within a
+// couple hundred GE for k ≤ 32 (paper: 52 GE at k=12 → 119 GE at k=32).
+func TestSkipCircuitCostTrend(t *testing.T) {
+	l, err := lfsr.NewStandard(lfsr.Fibonacci, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for _, k := range []int{4, 8, 12, 16, 24, 32} {
+		ge := CostLinear(l.SkipMatrix(uint64(k))).GE()
+		if k >= 12 && ge < prev*0.5 {
+			t.Errorf("k=%d: GE %.0f fell sharply from %.0f", k, ge, prev)
+		}
+		if ge <= 0 || ge > 600 {
+			t.Errorf("k=%d: GE %.0f out of plausible range", k, ge)
+		}
+		prev = ge
+	}
+	// k=32 must cost more than k=4 — the monotone trend of the paper.
+	ge4 := CostLinear(l.SkipMatrix(4)).GE()
+	ge32 := CostLinear(l.SkipMatrix(32)).GE()
+	if ge32 <= ge4 {
+		t.Errorf("GE(k=32)=%.0f not above GE(k=4)=%.0f", ge32, ge4)
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := BitsFor(n); got != want {
+			t.Errorf("BitsFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCounterCosts(t *testing.T) {
+	if Counter(0) != 0 || CounterFor(1) == 0 {
+		t.Error("counter edge cases wrong")
+	}
+	if Counter(8) <= Counter(4) {
+		t.Error("counter cost not monotone in width")
+	}
+	if Comparator(0) != 0 || Comparator(4) <= 0 {
+		t.Error("comparator edge cases wrong")
+	}
+	if DecodeTerm(1) <= 0 || DecodeTerm(6) <= DecodeTerm(2) {
+		t.Error("decode term cost not monotone")
+	}
+}
+
+func TestCostLinearDeterministic(t *testing.T) {
+	l, _ := lfsr.NewStandard(lfsr.Fibonacci, 44)
+	a := CostLinear(l.SkipMatrix(10))
+	b := CostLinear(l.SkipMatrix(10))
+	if a != b {
+		t.Errorf("CostLinear not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func BenchmarkCostLinearSkip24(b *testing.B) {
+	l, _ := lfsr.NewStandard(lfsr.Fibonacci, 85)
+	m := l.SkipMatrix(24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CostLinear(m)
+	}
+}

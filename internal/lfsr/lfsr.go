@@ -1,0 +1,220 @@
+// Package lfsr models Linear Feedback Shift Registers and the State Skip
+// extension introduced by Tenentes, Kavousianos and Kalligeros (DATE 2008).
+//
+// An LFSR of size n is a linear autonomous machine: its next state is T·s
+// for an invertible n×n transition matrix T over GF(2). The State Skip
+// circuit is a second linear next-state function implementing T^k, so that
+// one clock in State Skip mode advances the register k states, skipping the
+// k-1 intermediate states. Because T^k depends only on the characteristic
+// polynomial and k — never on the current state — the same two-mode register
+// works at every point of the state sequence.
+package lfsr
+
+import (
+	"fmt"
+
+	"repro/internal/gf2"
+)
+
+// Form selects the feedback structure of the register.
+type Form int
+
+const (
+	// Fibonacci is the external-XOR form: cells shift down one position and
+	// the top cell receives the XOR of the tap cells.
+	Fibonacci Form = iota
+	// Galois is the internal-XOR form: the feedback bit is XORed into the
+	// cells selected by the characteristic polynomial as the register
+	// shifts. The worked example in Fig. 2 of the paper is a Galois LFSR.
+	Galois
+)
+
+func (f Form) String() string {
+	switch f {
+	case Fibonacci:
+		return "fibonacci"
+	case Galois:
+		return "galois"
+	default:
+		return fmt.Sprintf("Form(%d)", int(f))
+	}
+}
+
+// LFSR is an immutable description of a linear feedback shift register:
+// its size, feedback form, characteristic-polynomial coefficients and the
+// derived transition matrix. State vectors live outside the struct so one
+// LFSR can drive many concurrent simulations.
+type LFSR struct {
+	n      int
+	form   Form
+	coeffs gf2.Vec // coeffs.Bit(i) = coefficient of x^i, i in [0,n); x^n implied
+	t      gf2.Mat // transition matrix: next = t·state
+}
+
+// New builds an LFSR of size n with the given characteristic polynomial
+// p(x) = x^n + Σ coeffs_i x^i. coeffs must have length n and constant term
+// coeffs_0 = 1 (otherwise the transition is singular and the register loses
+// state information).
+func New(form Form, coeffs gf2.Vec) (*LFSR, error) {
+	n := coeffs.Len()
+	if n < 2 {
+		return nil, fmt.Errorf("lfsr: size %d too small (need ≥ 2)", n)
+	}
+	if coeffs.Bit(0) != 1 {
+		return nil, fmt.Errorf("lfsr: constant coefficient must be 1 for an invertible transition")
+	}
+	l := &LFSR{n: n, form: form, coeffs: coeffs.Clone()}
+	l.t = l.buildTransition()
+	return l, nil
+}
+
+// NewFromTaps builds an LFSR of the given size from polynomial exponents.
+// The exponents may include size and 0; both are implied and deduplicated.
+// Example: NewFromTaps(Fibonacci, 4, []int{4, 1, 0}) is x^4 + x + 1.
+func NewFromTaps(form Form, size int, taps []int) (*LFSR, error) {
+	coeffs := gf2.NewVec(size)
+	coeffs.SetBit(0, 1)
+	for _, e := range taps {
+		if e < 0 || e > size {
+			return nil, fmt.Errorf("lfsr: tap exponent %d out of range [0,%d]", e, size)
+		}
+		if e == size || e == 0 {
+			continue
+		}
+		coeffs.SetBit(e, 1)
+	}
+	return New(form, coeffs)
+}
+
+// NewStandard builds an LFSR of the given size using the curated primitive
+// polynomial table (see Taps). It fails if the table has no entry.
+func NewStandard(form Form, size int) (*LFSR, error) {
+	taps, ok := Taps(size)
+	if !ok {
+		return nil, fmt.Errorf("lfsr: no curated primitive polynomial for size %d", size)
+	}
+	return NewFromTaps(form, size, taps)
+}
+
+// Size returns the number of register cells n.
+func (l *LFSR) Size() int { return l.n }
+
+// FormOf returns the feedback structure.
+func (l *LFSR) FormOf() Form { return l.form }
+
+// Coeffs returns a copy of the characteristic polynomial coefficients
+// (bit i = coefficient of x^i, i < n; the x^n term is implied).
+func (l *LFSR) Coeffs() gf2.Vec { return l.coeffs.Clone() }
+
+// CharPoly returns the characteristic polynomial as a gf2.Poly.
+func (l *LFSR) CharPoly() gf2.Poly {
+	exps := []int{l.n}
+	for i := 0; i < l.n; i++ {
+		if l.coeffs.Bit(i) != 0 {
+			exps = append(exps, i)
+		}
+	}
+	return gf2.NewPoly(exps...)
+}
+
+// Transition returns a copy of the transition matrix T (next = T·state).
+func (l *LFSR) Transition() gf2.Mat { return l.t.Clone() }
+
+// buildTransition derives T from the form and coefficients.
+//
+// Fibonacci: cell i takes cell i+1; cell n-1 takes the XOR of the cells
+// selected by the coefficients (cell 0 always participates since c_0 = 1).
+//
+// Galois: feedback f = cell n-1; cell 0 takes f; cell i (i ≥ 1) takes cell
+// i-1 XOR c_i·f. For n = 4, c = (1,1,0,1) this is exactly the register of
+// the paper's Fig. 2.
+func (l *LFSR) buildTransition() gf2.Mat {
+	t := gf2.NewMat(l.n, l.n)
+	switch l.form {
+	case Fibonacci:
+		for i := 0; i < l.n-1; i++ {
+			t.Set(i, i+1, 1)
+		}
+		for j := 0; j < l.n; j++ {
+			if l.coeffs.Bit(j) != 0 {
+				t.Set(l.n-1, j, 1)
+			}
+		}
+	case Galois:
+		t.Set(0, l.n-1, 1)
+		for i := 1; i < l.n; i++ {
+			t.Set(i, i-1, 1)
+			if l.coeffs.Bit(i) != 0 {
+				t.Set(i, l.n-1, 1)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("lfsr: unknown form %v", l.form))
+	}
+	return t
+}
+
+// Step returns the successor of state (one Normal-mode clock).
+func (l *LFSR) Step(state gf2.Vec) gf2.Vec {
+	return l.stepBy(state, 1)
+}
+
+// StepInto writes the successor of state into dst without allocating.
+// dst and state must be distinct n-bit vectors.
+func (l *LFSR) StepInto(dst, state gf2.Vec) {
+	if dst.Len() != l.n || state.Len() != l.n {
+		panic("lfsr: StepInto length mismatch")
+	}
+	switch l.form {
+	case Fibonacci:
+		var fb uint8
+		for j := 0; j < l.n; j++ {
+			if l.coeffs.Bit(j) != 0 {
+				fb ^= state.Bit(j)
+			}
+		}
+		for i := 0; i < l.n-1; i++ {
+			dst.SetBit(i, state.Bit(i+1))
+		}
+		dst.SetBit(l.n-1, fb)
+	case Galois:
+		f := state.Bit(l.n - 1)
+		dst.SetBit(0, f)
+		for i := 1; i < l.n; i++ {
+			b := state.Bit(i - 1)
+			if l.coeffs.Bit(i) != 0 {
+				b ^= f
+			}
+			dst.SetBit(i, b)
+		}
+	}
+}
+
+// stepBy advances state by k states using T^k. Used by Step and SkipStep.
+func (l *LFSR) stepBy(state gf2.Vec, k uint64) gf2.Vec {
+	return l.t.Pow(k).MulVec(state)
+}
+
+// SkipMatrix returns T^k, the linear function implemented by the State Skip
+// circuit with speedup factor k.
+func (l *LFSR) SkipMatrix(k uint64) gf2.Mat { return l.t.Pow(k) }
+
+// Period runs the register from state 0...01 until it revisits the initial
+// state and returns the cycle length. Only intended for n small enough to
+// enumerate (tests use it to confirm maximal period 2^n - 1 for the curated
+// polynomials).
+func (l *LFSR) Period() uint64 {
+	init := gf2.NewVec(l.n)
+	init.SetBit(0, 1)
+	cur := init.Clone()
+	next := gf2.NewVec(l.n)
+	var count uint64
+	for {
+		l.StepInto(next, cur)
+		cur, next = next, cur
+		count++
+		if cur.Equal(init) {
+			return count
+		}
+	}
+}

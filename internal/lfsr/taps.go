@@ -1,0 +1,131 @@
+package lfsr
+
+// primitiveTaps maps register size n to the exponents of a primitive
+// characteristic polynomial x^n + ... + 1 (the size itself and the constant
+// term are implied and omitted here). The entries follow the widely used
+// maximal-length tap tables (Xilinx XAPP052 and the tables in Golomb,
+// "Shift Register Sequences"). Every entry is verified irreducible by
+// TestCuratedTapsIrreducible using Rabin's test; maximal period is verified
+// exhaustively for small sizes.
+//
+// The five LFSR sizes of the paper's Table 1 (24, 39, 44, 56, 85) are all
+// present.
+var primitiveTaps = map[int][]int{
+	2:   {1},
+	3:   {2},
+	4:   {3},
+	5:   {3},
+	6:   {5},
+	7:   {6},
+	8:   {6, 5, 4},
+	9:   {5},
+	10:  {7},
+	11:  {9},
+	12:  {6, 4, 1},
+	13:  {4, 3, 1},
+	14:  {5, 3, 1},
+	15:  {14},
+	16:  {15, 13, 4},
+	17:  {14},
+	18:  {11},
+	19:  {6, 2, 1},
+	20:  {17},
+	21:  {19},
+	22:  {21},
+	23:  {18},
+	24:  {23, 22, 17},
+	25:  {22},
+	26:  {6, 2, 1},
+	27:  {5, 2, 1},
+	28:  {25},
+	29:  {27},
+	30:  {6, 4, 1},
+	31:  {28},
+	32:  {22, 2, 1},
+	33:  {20},
+	34:  {27, 2, 1},
+	35:  {33},
+	36:  {25},
+	37:  {5, 4, 3, 2, 1},
+	38:  {6, 5, 1},
+	39:  {35},
+	40:  {38, 21, 19},
+	41:  {38},
+	42:  {41, 20, 19},
+	43:  {42, 38, 37},
+	44:  {43, 18, 17},
+	45:  {44, 42, 41},
+	46:  {45, 26, 25},
+	47:  {42},
+	48:  {47, 21, 20},
+	49:  {40},
+	50:  {49, 24, 23},
+	51:  {50, 36, 35},
+	52:  {49},
+	53:  {52, 38, 37},
+	54:  {53, 18, 17},
+	55:  {31},
+	56:  {55, 35, 34},
+	57:  {50},
+	58:  {39},
+	59:  {58, 38, 37},
+	60:  {59},
+	61:  {60, 46, 45},
+	62:  {61, 6, 5},
+	63:  {62},
+	64:  {63, 61, 60},
+	65:  {47},
+	66:  {65, 57, 56},
+	67:  {66, 58, 57},
+	68:  {59},
+	69:  {67, 42, 40},
+	70:  {69, 55, 54},
+	71:  {65},
+	72:  {66, 25, 19},
+	73:  {48},
+	74:  {73, 59, 58},
+	75:  {74, 65, 64},
+	76:  {75, 41, 40},
+	77:  {76, 47, 46},
+	78:  {77, 59, 58},
+	79:  {70},
+	80:  {79, 43, 42},
+	81:  {77},
+	82:  {79, 47, 44},
+	83:  {82, 38, 37},
+	84:  {71},
+	85:  {84, 58, 57},
+	86:  {85, 74, 73},
+	87:  {74},
+	88:  {87, 17, 16},
+	89:  {51},
+	90:  {89, 72, 71},
+	91:  {90, 8, 7},
+	92:  {91, 80, 79},
+	93:  {91},
+	94:  {73},
+	95:  {84},
+	96:  {94, 49, 47},
+	97:  {91},
+	98:  {87},
+	99:  {97, 54, 52},
+	100: {63},
+	128: {126, 101, 99},
+}
+
+// Taps returns the exponents of a curated primitive polynomial for size n
+// (excluding the implied x^n and constant terms) and whether one exists.
+// The returned slice must not be modified.
+func Taps(n int) ([]int, bool) {
+	t, ok := primitiveTaps[n]
+	return t, ok
+}
+
+// Sizes returns all register sizes present in the curated table, unsorted.
+func Sizes() []int {
+	out := make([]int, 0, len(primitiveTaps))
+	for n := range primitiveTaps {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ReadBench parses the ISCAS-89/85 .bench netlist dialect:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G10 = NAND(G0, G1)
+//	G11 = DFF(G10)        # flip-flops become PPI/PPO pairs
+//
+// DFF gates are scan-replaced: the flip-flop's output becomes a pseudo
+// primary input named after the DFF signal, and its data input becomes a
+// pseudo primary output "<name>_ppo" — the standard full-scan
+// transformation under which ATPG is combinational.
+func ReadBench(r io.Reader) (*Netlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := New()
+
+	type pendingGate struct {
+		name  string
+		typ   GateType
+		fanin []string
+		line  int
+	}
+	var gates []pendingGate
+	var outputs []string
+	type dff struct {
+		q, d string
+	}
+	var dffs []dff
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		upper := strings.ToUpper(text)
+		switch {
+		case strings.HasPrefix(upper, "INPUT"):
+			name, err := parseParen(text)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %v", line, err)
+			}
+			if _, err := n.AddInput(name); err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %v", line, err)
+			}
+		case strings.HasPrefix(upper, "OUTPUT"):
+			name, err := parseParen(text)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %v", line, err)
+			}
+			outputs = append(outputs, name)
+		case strings.Contains(text, "="):
+			parts := strings.SplitN(text, "=", 2)
+			name := strings.TrimSpace(parts[0])
+			rhs := strings.TrimSpace(parts[1])
+			open := strings.IndexByte(rhs, '(')
+			close := strings.LastIndexByte(rhs, ')')
+			if open < 0 || close < open {
+				return nil, fmt.Errorf("netlist: line %d: malformed gate %q", line, text)
+			}
+			fn := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			var fanin []string
+			for _, f := range strings.Split(rhs[open+1:close], ",") {
+				fanin = append(fanin, strings.TrimSpace(f))
+			}
+			if fn == "DFF" {
+				if len(fanin) != 1 {
+					return nil, fmt.Errorf("netlist: line %d: DFF needs one input", line)
+				}
+				dffs = append(dffs, dff{q: name, d: fanin[0]})
+				continue
+			}
+			typ, ok := map[string]GateType{
+				"BUF": Buf, "BUFF": Buf, "NOT": Not, "INV": Not,
+				"AND": And, "NAND": Nand, "OR": Or, "NOR": Nor,
+				"XOR": Xor, "XNOR": Xnor,
+			}[fn]
+			if !ok {
+				return nil, fmt.Errorf("netlist: line %d: unknown gate function %q", line, fn)
+			}
+			gates = append(gates, pendingGate{name: name, typ: typ, fanin: fanin, line: line})
+		default:
+			return nil, fmt.Errorf("netlist: line %d: unparseable %q", line, text)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Scan replacement: DFF outputs become pseudo primary inputs.
+	for _, d := range dffs {
+		if _, err := n.AddInput(d.q); err != nil {
+			return nil, fmt.Errorf("netlist: DFF %q: %v", d.q, err)
+		}
+	}
+	// Gates may be declared in any order; insert once fan-ins exist.
+	remaining := gates
+	for len(remaining) > 0 {
+		progress := false
+		var next []pendingGate
+		for _, g := range remaining {
+			ready := true
+			for _, f := range g.fanin {
+				if _, ok := n.byName[f]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, g)
+				continue
+			}
+			if _, err := n.AddGate(g.name, g.typ, g.fanin...); err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %v", g.line, err)
+			}
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("netlist: unresolved signals (cycle or missing declaration), e.g. gate %q", next[0].name)
+		}
+		remaining = next
+	}
+	for _, o := range outputs {
+		if err := n.MarkOutput(o); err != nil {
+			return nil, err
+		}
+	}
+	// DFF data inputs become pseudo primary outputs.
+	for _, d := range dffs {
+		if err := n.MarkOutput(d.d); err != nil {
+			return nil, fmt.Errorf("netlist: DFF %q data %q: %v", d.q, d.d, err)
+		}
+	}
+	return n, nil
+}
+
+func parseParen(s string) (string, error) {
+	open := strings.IndexByte(s, '(')
+	close := strings.LastIndexByte(s, ')')
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", s)
+	}
+	name := strings.TrimSpace(s[open+1 : close])
+	if name == "" {
+		return "", fmt.Errorf("empty signal name in %q", s)
+	}
+	return name, nil
+}
+
+// WriteBench serialises the netlist in .bench format (combinational view:
+// pseudo inputs/outputs are written as plain INPUT/OUTPUT).
+func (n *Netlist) WriteBench(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, gi := range n.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", n.Gates[gi].Name)
+	}
+	outs := append([]int(nil), n.Outputs...)
+	sort.Ints(outs)
+	for _, gi := range outs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", n.Gates[gi].Name)
+	}
+	order, err := n.Levelize()
+	if err != nil {
+		return err
+	}
+	for _, gi := range order {
+		g := &n.Gates[gi]
+		if g.Type == Input {
+			continue
+		}
+		names := make([]string, len(g.Fanin))
+		for i, f := range g.Fanin {
+			names[i] = n.Gates[f].Name
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Type, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}

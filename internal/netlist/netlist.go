@@ -1,0 +1,309 @@
+// Package netlist models gate-level combinational circuits in the ISCAS
+// .bench dialect — the substrate under the ATPG flow (internal/atpg) and
+// fault simulator (internal/faultsim) that stand in for Atalanta in this
+// reproduction (DESIGN.md §2).
+//
+// A netlist is a DAG of single-output gates over named signals. Scan-based
+// sequential circuits are handled the standard way: flip-flop outputs
+// become pseudo primary inputs and flip-flop inputs become pseudo primary
+// outputs, so the test-generation problem is purely combinational, exactly
+// as Atalanta treats the ISCAS'89 circuits.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GateType enumerates the supported gate functions.
+type GateType int
+
+const (
+	Input GateType = iota // primary (or pseudo primary) input, no fan-in
+	Buf
+	Not
+	And
+	Nand
+	Or
+	Nor
+	Xor
+	Xnor
+)
+
+var gateNames = map[GateType]string{
+	Input: "INPUT", Buf: "BUF", Not: "NOT", And: "AND", Nand: "NAND",
+	Or: "OR", Nor: "NOR", Xor: "XOR", Xnor: "XNOR",
+}
+
+func (g GateType) String() string {
+	if s, ok := gateNames[g]; ok {
+		return s
+	}
+	return fmt.Sprintf("GateType(%d)", int(g))
+}
+
+// Eval computes the gate function over fan-in values (each 0 or 1).
+func (g GateType) Eval(in []uint8) uint8 {
+	switch g {
+	case Buf:
+		return in[0]
+	case Not:
+		return in[0] ^ 1
+	case And, Nand:
+		v := uint8(1)
+		for _, b := range in {
+			v &= b
+		}
+		if g == Nand {
+			v ^= 1
+		}
+		return v
+	case Or, Nor:
+		v := uint8(0)
+		for _, b := range in {
+			v |= b
+		}
+		if g == Nor {
+			v ^= 1
+		}
+		return v
+	case Xor, Xnor:
+		v := uint8(0)
+		for _, b := range in {
+			v ^= b
+		}
+		if g == Xnor {
+			v ^= 1
+		}
+		return v
+	default:
+		panic(fmt.Sprintf("netlist: Eval on %v", g))
+	}
+}
+
+// EvalWord is Eval on 64 test patterns in parallel (bit-sliced).
+func (g GateType) EvalWord(in []uint64) uint64 {
+	switch g {
+	case Buf:
+		return in[0]
+	case Not:
+		return ^in[0]
+	case And, Nand:
+		v := ^uint64(0)
+		for _, b := range in {
+			v &= b
+		}
+		if g == Nand {
+			v = ^v
+		}
+		return v
+	case Or, Nor:
+		v := uint64(0)
+		for _, b := range in {
+			v |= b
+		}
+		if g == Nor {
+			v = ^v
+		}
+		return v
+	case Xor, Xnor:
+		v := uint64(0)
+		for _, b := range in {
+			v ^= b
+		}
+		if g == Xnor {
+			v = ^v
+		}
+		return v
+	default:
+		panic(fmt.Sprintf("netlist: EvalWord on %v", g))
+	}
+}
+
+// Gate is one node of the netlist. Fanin holds gate indices.
+type Gate struct {
+	Name  string
+	Type  GateType
+	Fanin []int
+}
+
+// Netlist is a combinational circuit. Gates are stored in input order
+// followed by declaration order; Levelize sorts them topologically.
+type Netlist struct {
+	Gates   []Gate
+	Inputs  []int // gate indices of primary inputs
+	Outputs []int // gate indices of primary outputs
+	byName  map[string]int
+	order   []int // topological order (gate indices), nil until Levelize
+}
+
+// New returns an empty netlist.
+func New() *Netlist {
+	return &Netlist{byName: make(map[string]int)}
+}
+
+// AddInput declares a primary input and returns its gate index.
+func (n *Netlist) AddInput(name string) (int, error) {
+	if _, dup := n.byName[name]; dup {
+		return 0, fmt.Errorf("netlist: duplicate signal %q", name)
+	}
+	idx := len(n.Gates)
+	n.Gates = append(n.Gates, Gate{Name: name, Type: Input})
+	n.byName[name] = idx
+	n.Inputs = append(n.Inputs, idx)
+	n.order = nil
+	return idx, nil
+}
+
+// AddGate declares a gate driven by existing signals and returns its index.
+func (n *Netlist) AddGate(name string, t GateType, fanin ...string) (int, error) {
+	if _, dup := n.byName[name]; dup {
+		return 0, fmt.Errorf("netlist: duplicate signal %q", name)
+	}
+	if t == Input {
+		return 0, fmt.Errorf("netlist: use AddInput for inputs")
+	}
+	if len(fanin) == 0 {
+		return 0, fmt.Errorf("netlist: gate %q has no fan-in", name)
+	}
+	if (t == Buf || t == Not) && len(fanin) != 1 {
+		return 0, fmt.Errorf("netlist: %v gate %q needs exactly one fan-in", t, name)
+	}
+	g := Gate{Name: name, Type: t}
+	for _, f := range fanin {
+		fi, ok := n.byName[f]
+		if !ok {
+			return 0, fmt.Errorf("netlist: gate %q references unknown signal %q", name, f)
+		}
+		g.Fanin = append(g.Fanin, fi)
+	}
+	idx := len(n.Gates)
+	n.Gates = append(n.Gates, g)
+	n.byName[name] = idx
+	n.order = nil
+	return idx, nil
+}
+
+// MarkOutput declares an existing signal as a primary output.
+func (n *Netlist) MarkOutput(name string) error {
+	idx, ok := n.byName[name]
+	if !ok {
+		return fmt.Errorf("netlist: unknown output signal %q", name)
+	}
+	n.Outputs = append(n.Outputs, idx)
+	return nil
+}
+
+// Index returns the gate index of a named signal.
+func (n *Netlist) Index(name string) (int, bool) {
+	i, ok := n.byName[name]
+	return i, ok
+}
+
+// NumGates returns the total node count (inputs included).
+func (n *Netlist) NumGates() int { return len(n.Gates) }
+
+// Levelize computes (and caches) a topological order. It fails on
+// combinational loops.
+func (n *Netlist) Levelize() ([]int, error) {
+	if n.order != nil {
+		return n.order, nil
+	}
+	indeg := make([]int, len(n.Gates))
+	fanout := make([][]int, len(n.Gates))
+	for gi, g := range n.Gates {
+		indeg[gi] = len(g.Fanin)
+		for _, f := range g.Fanin {
+			fanout[f] = append(fanout[f], gi)
+		}
+	}
+	queue := make([]int, 0, len(n.Gates))
+	for gi, d := range indeg {
+		if d == 0 {
+			queue = append(queue, gi)
+		}
+	}
+	sort.Ints(queue) // deterministic order
+	order := make([]int, 0, len(n.Gates))
+	for len(queue) > 0 {
+		gi := queue[0]
+		queue = queue[1:]
+		order = append(order, gi)
+		for _, fo := range fanout[gi] {
+			indeg[fo]--
+			if indeg[fo] == 0 {
+				queue = append(queue, fo)
+			}
+		}
+	}
+	if len(order) != len(n.Gates) {
+		return nil, fmt.Errorf("netlist: combinational loop detected (%d of %d gates ordered)", len(order), len(n.Gates))
+	}
+	n.order = order
+	return order, nil
+}
+
+// Eval computes all primary outputs for a full input assignment, indexed
+// like n.Inputs.
+func (n *Netlist) Eval(inputs []uint8) ([]uint8, error) {
+	if len(inputs) != len(n.Inputs) {
+		return nil, fmt.Errorf("netlist: %d input values for %d inputs", len(inputs), len(n.Inputs))
+	}
+	order, err := n.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	val := make([]uint8, len(n.Gates))
+	for i, gi := range n.Inputs {
+		val[gi] = inputs[i] & 1
+	}
+	var buf []uint8
+	for _, gi := range order {
+		g := &n.Gates[gi]
+		if g.Type == Input {
+			continue
+		}
+		buf = buf[:0]
+		for _, f := range g.Fanin {
+			buf = append(buf, val[f])
+		}
+		val[gi] = g.Type.Eval(buf)
+	}
+	out := make([]uint8, len(n.Outputs))
+	for i, gi := range n.Outputs {
+		out[i] = val[gi]
+	}
+	return out, nil
+}
+
+// Stats summarises the circuit.
+type Stats struct {
+	Inputs, Outputs, Gates int
+	Levels                 int
+}
+
+// Summary computes circuit statistics.
+func (n *Netlist) Summary() (Stats, error) {
+	order, err := n.Levelize()
+	if err != nil {
+		return Stats{}, err
+	}
+	level := make([]int, len(n.Gates))
+	max := 0
+	for _, gi := range order {
+		for _, f := range n.Gates[gi].Fanin {
+			if level[f]+1 > level[gi] {
+				level[gi] = level[f] + 1
+			}
+		}
+		if level[gi] > max {
+			max = level[gi]
+		}
+	}
+	return Stats{
+		Inputs:  len(n.Inputs),
+		Outputs: len(n.Outputs),
+		Gates:   len(n.Gates) - len(n.Inputs),
+		Levels:  max,
+	}, nil
+}

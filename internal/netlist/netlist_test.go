@@ -1,0 +1,211 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func buildFullAdder(t testing.TB) *Netlist {
+	t.Helper()
+	n := New()
+	for _, in := range []string{"a", "b", "cin"} {
+		if _, err := n.AddInput(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGate := func(name string, typ GateType, fanin ...string) {
+		if _, err := n.AddGate(name, typ, fanin...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGate("axb", Xor, "a", "b")
+	mustGate("sum", Xor, "axb", "cin")
+	mustGate("ab", And, "a", "b")
+	mustGate("c_axb", And, "axb", "cin")
+	mustGate("cout", Or, "ab", "c_axb")
+	if err := n.MarkOutput("sum"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MarkOutput("cout"); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestFullAdderTruthTable(t *testing.T) {
+	n := buildFullAdder(t)
+	for a := uint8(0); a <= 1; a++ {
+		for b := uint8(0); b <= 1; b++ {
+			for c := uint8(0); c <= 1; c++ {
+				out, err := n.Eval([]uint8{a, b, c})
+				if err != nil {
+					t.Fatal(err)
+				}
+				total := a + b + c
+				if out[0] != total&1 || out[1] != total>>1 {
+					t.Errorf("%d+%d+%d: sum=%d cout=%d", a, b, c, out[0], out[1])
+				}
+			}
+		}
+	}
+}
+
+func TestGateEvalWordMatchesScalar(t *testing.T) {
+	// EvalWord on 64 packed patterns must agree with Eval per pattern.
+	f := func(a, b, c uint64) bool {
+		for _, typ := range []GateType{And, Nand, Or, Nor, Xor, Xnor} {
+			w := typ.EvalWord([]uint64{a, b, c})
+			for bit := 0; bit < 64; bit++ {
+				s := typ.Eval([]uint8{uint8(a >> uint(bit) & 1), uint8(b >> uint(bit) & 1), uint8(c >> uint(bit) & 1)})
+				if uint8(w>>uint(bit)&1) != s {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDuplicateAndUnknownSignals(t *testing.T) {
+	n := New()
+	n.AddInput("a")
+	if _, err := n.AddInput("a"); err == nil {
+		t.Error("duplicate input accepted")
+	}
+	if _, err := n.AddGate("g", And, "a", "nosuch"); err == nil {
+		t.Error("unknown fan-in accepted")
+	}
+	if _, err := n.AddGate("h", Not, "a", "a"); err == nil {
+		t.Error("NOT with two fan-ins accepted")
+	}
+	if err := n.MarkOutput("nosuch"); err == nil {
+		t.Error("unknown output accepted")
+	}
+}
+
+func TestBenchRoundTrip(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+u = NAND(a, b)
+v = NOT(u)
+y = OR(v, a)
+`
+	n, err := ReadBench(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.WriteBench(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := ReadBench(&buf)
+	if err != nil {
+		t.Fatalf("re-reading own output: %v\n%s", err, buf.String())
+	}
+	for a := uint8(0); a <= 1; a++ {
+		for b := uint8(0); b <= 1; b++ {
+			o1, _ := n.Eval([]uint8{a, b})
+			o2, _ := n2.Eval([]uint8{a, b})
+			if o1[0] != o2[0] {
+				t.Errorf("round trip differs at a=%d b=%d", a, b)
+			}
+		}
+	}
+}
+
+func TestBenchDFFScanReplacement(t *testing.T) {
+	src := `
+INPUT(x)
+OUTPUT(z)
+q = DFF(d)
+d = AND(x, q)
+z = NOT(q)
+`
+	n, err := ReadBench(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x and q are inputs (q is the pseudo primary input), z and d outputs.
+	if len(n.Inputs) != 2 {
+		t.Errorf("inputs = %d, want 2", len(n.Inputs))
+	}
+	if len(n.Outputs) != 2 {
+		t.Errorf("outputs = %d, want 2", len(n.Outputs))
+	}
+	out, err := n.Eval([]uint8{1, 1}) // x=1, q=1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 { // z = NOT(q) = 0
+		t.Errorf("z = %d", out[0])
+	}
+	if out[1] != 1 { // d = AND(x,q) = 1
+		t.Errorf("d = %d", out[1])
+	}
+}
+
+func TestBenchErrors(t *testing.T) {
+	cases := []string{
+		"INPUT()",
+		"g = FROB(a)",
+		"g = AND(a",
+		"whatever",
+	}
+	for _, src := range cases {
+		if _, err := ReadBench(strings.NewReader("INPUT(a)\n" + src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestRandomCircuitWellFormed(t *testing.T) {
+	for _, seed := range []uint64{1, 5, 9} {
+		n, err := Random(RandomConfig{Inputs: 20, Outputs: 6, Gates: 80, MaxFan: 4, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := n.Summary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Inputs != 20 || st.Outputs != 6 || st.Gates != 80 {
+			t.Errorf("seed %d: stats %+v", seed, st)
+		}
+		if st.Levels < 2 {
+			t.Errorf("seed %d: circuit too shallow (%d levels)", seed, st.Levels)
+		}
+		// Deterministic in the seed.
+		n2, _ := Random(RandomConfig{Inputs: 20, Outputs: 6, Gates: 80, MaxFan: 4, Seed: seed})
+		in := make([]uint8, 20)
+		for i := range in {
+			in[i] = uint8(i % 2)
+		}
+		o1, _ := n.Eval(in)
+		o2, _ := n2.Eval(in)
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("seed %d: generation not deterministic", seed)
+			}
+		}
+	}
+}
+
+func TestLevelizeDetectsLoop(t *testing.T) {
+	n := New()
+	n.AddInput("a")
+	// Build a loop manually (bypassing AddGate's forward-reference guard).
+	n.Gates = append(n.Gates, Gate{Name: "p", Type: And, Fanin: []int{0, 2}})
+	n.byName["p"] = 1
+	n.Gates = append(n.Gates, Gate{Name: "q", Type: And, Fanin: []int{1}})
+	n.byName["q"] = 2
+	if _, err := n.Levelize(); err == nil {
+		t.Error("combinational loop not detected")
+	}
+}

@@ -1,0 +1,86 @@
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/prng"
+)
+
+// RandomConfig parameterises synthetic scan-circuit generation.
+type RandomConfig struct {
+	Inputs  int // primary + pseudo primary inputs (scan width)
+	Outputs int // primary + pseudo primary outputs
+	Gates   int // internal gates
+	MaxFan  int // maximum gate fan-in (≥ 2)
+	Seed    uint64
+}
+
+// Random generates a random combinational scan core: a levelised DAG whose
+// gates draw fan-in from earlier signals with locality bias (closer signals
+// are more likely, mimicking the cone structure of real logic). Every
+// primary output is driven by a late gate so output cones are deep.
+//
+// The generator is deterministic in the seed, so ATPG/fault-simulation
+// tests and the ip_core_flow example are reproducible.
+func Random(cfg RandomConfig) (*Netlist, error) {
+	if cfg.Inputs < 2 || cfg.Gates < 1 || cfg.Outputs < 1 {
+		return nil, fmt.Errorf("netlist: random config needs ≥2 inputs, ≥1 gate, ≥1 output")
+	}
+	if cfg.MaxFan < 2 {
+		cfg.MaxFan = 2
+	}
+	src := prng.New(cfg.Seed)
+	n := New()
+	for i := 0; i < cfg.Inputs; i++ {
+		if _, err := n.AddInput(fmt.Sprintf("pi%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	types := []GateType{And, Nand, Or, Nor, Xor, Not, And, Nand, Or, Nor}
+	for gi := 0; gi < cfg.Gates; gi++ {
+		name := fmt.Sprintf("g%d", gi)
+		t := types[src.Intn(len(types))]
+		avail := cfg.Inputs + gi
+		fan := 1
+		if t != Not && t != Buf {
+			fan = 2 + src.Intn(cfg.MaxFan-1)
+		}
+		seen := make(map[int]bool, fan)
+		var fanin []string
+		for len(fanin) < fan && len(seen) < avail {
+			// Locality bias: halve the candidate range with probability 1/2
+			// repeatedly, then pick inside it from the most recent signals.
+			span := avail
+			for span > 4 && src.Bit() == 1 {
+				span /= 2
+			}
+			idx := avail - 1 - src.Intn(span)
+			if !seen[idx] {
+				seen[idx] = true
+				fanin = append(fanin, n.Gates[idx].Name)
+			}
+		}
+		if len(fanin) == 0 {
+			fanin = []string{n.Gates[src.Intn(avail)].Name}
+		}
+		if t == Not && len(fanin) > 1 {
+			fanin = fanin[:1]
+		}
+		if _, err := n.AddGate(name, t, fanin...); err != nil {
+			return nil, err
+		}
+	}
+	// Outputs: prefer late gates so the observable cones are deep.
+	total := cfg.Inputs + cfg.Gates
+	for oi := 0; oi < cfg.Outputs; oi++ {
+		span := cfg.Gates / 2
+		if span < 1 {
+			span = 1
+		}
+		idx := total - 1 - src.Intn(span)
+		if err := n.MarkOutput(n.Gates[idx].Name); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}

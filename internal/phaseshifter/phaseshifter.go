@@ -1,0 +1,227 @@
+// Package phaseshifter implements the XOR network between an LFSR and the
+// scan chains. Adjacent LFSR cells produce shifted copies of the same bit
+// sequence; feeding chains directly from cells would make neighbouring
+// chains linearly dependent and cripple the seed-equation systems. A phase
+// shifter drives every chain with the XOR of a small set of cells, chosen so
+// the output sequences are widely separated phases of the m-sequence.
+//
+// The construction here (NewSeparated) taps three cells per output and
+// verifies by symbolic simulation that no two outputs produce the same
+// seed expression anywhere within the encoding window — the separation
+// property window-based reseeding needs.
+package phaseshifter
+
+import (
+	"fmt"
+
+	"repro/internal/gf2"
+	"repro/internal/lfsr"
+	"repro/internal/prng"
+)
+
+// PhaseShifter is an immutable XOR network from n LFSR cells to m outputs.
+type PhaseShifter struct {
+	n    int
+	taps [][]int // taps[out] = LFSR cell indices XORed into that output
+}
+
+// New builds a phase shifter with explicit taps. Every output must have at
+// least one tap and all taps must be valid cell indices.
+func New(n int, taps [][]int) (*PhaseShifter, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("phaseshifter: LFSR size %d invalid", n)
+	}
+	if len(taps) == 0 {
+		return nil, fmt.Errorf("phaseshifter: need at least one output")
+	}
+	cp := make([][]int, len(taps))
+	for o, ts := range taps {
+		if len(ts) == 0 {
+			return nil, fmt.Errorf("phaseshifter: output %d has no taps", o)
+		}
+		seen := make(map[int]bool, len(ts))
+		for _, c := range ts {
+			if c < 0 || c >= n {
+				return nil, fmt.Errorf("phaseshifter: output %d taps cell %d outside [0,%d)", o, c, n)
+			}
+			if seen[c] {
+				return nil, fmt.Errorf("phaseshifter: output %d taps cell %d twice", o, c)
+			}
+			seen[c] = true
+		}
+		cp[o] = append([]int(nil), ts...)
+	}
+	return &PhaseShifter{n: n, taps: cp}, nil
+}
+
+// NewSeparated builds a 3-tap-per-output phase shifter whose output
+// sequences are verified to have no phase overlap within windowCycles
+// clocks.
+//
+// Each output, being an XOR of LFSR cells, produces the register's
+// m-sequence at some phase (the shift-and-add property). If two outputs'
+// phases come closer than the window length, they emit the *same* linear
+// expression of the seed at two different (output, cycle) slots, and any
+// test cube specifying opposite values at those slots becomes structurally
+// unencodable. Naive tap constructions (e.g. constant-stride tap sets) are
+// catastrophic here: shifting a tap set by s cells shifts its phase by
+// exactly s, putting all channels within a few cycles of each other.
+//
+// Because computing phases outright needs discrete logarithms in GF(2^n),
+// NewSeparated instead verifies separation directly: it simulates the
+// register symbolically for windowCycles clocks, hashes every output
+// expression, and re-randomises the taps of any output that collides with
+// an earlier one. Tap choice is deterministic (seeded from n, outputs and
+// windowCycles), so identical configurations always yield identical
+// hardware.
+func NewSeparated(l *lfsr.LFSR, outputs, windowCycles int) (*PhaseShifter, error) {
+	return NewSeparatedVariant(l, outputs, windowCycles, 0)
+}
+
+// NewSeparatedVariant is NewSeparated with a design-variant salt. Pairwise
+// phase separation cannot rule out *higher-weight* translation-invariant
+// relations (e.g. output a XOR output b at equal cycles equalling output c a
+// few cycles earlier); when a test set happens to specify slots on such a
+// relation with odd parity, that cube is structurally unencodable under
+// this particular shifter and the flow retries with the next variant —
+// mirroring real DFT practice, where the phase shifter is iterated until
+// the test set encodes. See encoder.EncodeAuto.
+func NewSeparatedVariant(l *lfsr.LFSR, outputs, windowCycles int, variant uint64) (*PhaseShifter, error) {
+	n := l.Size()
+	if outputs < 1 {
+		return nil, fmt.Errorf("phaseshifter: need at least one output, got %d", outputs)
+	}
+	if windowCycles < 1 {
+		return nil, fmt.Errorf("phaseshifter: window of %d cycles invalid", windowCycles)
+	}
+	src := prng.New(uint64(n)<<32 ^ uint64(outputs)<<16 ^ uint64(windowCycles) ^ 0x51ab ^ variant*0x9e3779b97f4a7c15)
+	taps := make([][]int, outputs)
+	for o := range taps {
+		taps[o] = randomTaps(src, n)
+	}
+	const maxRounds = 64
+	for round := 0; round < maxRounds; round++ {
+		colliding := findCollision(l, taps, windowCycles)
+		if colliding < 0 {
+			return New(n, taps)
+		}
+		taps[colliding] = randomTaps(src, n)
+	}
+	return nil, fmt.Errorf("phaseshifter: could not separate %d outputs over %d cycles for n=%d (state space too small)", outputs, windowCycles, n)
+}
+
+// randomTaps draws three distinct cells (fewer if n < 3).
+func randomTaps(src *prng.Source, n int) []int {
+	want := 3
+	if n < want {
+		want = n
+	}
+	set := make(map[int]bool, want)
+	out := make([]int, 0, want)
+	for len(out) < want {
+		c := src.Intn(n)
+		if !set[c] {
+			set[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// findCollision symbolically simulates windowCycles clocks and returns the
+// index of an output whose expression at some cycle duplicates another
+// output's expression at any cycle, or -1 if all expressions are distinct.
+func findCollision(l *lfsr.LFSR, taps [][]int, windowCycles int) int {
+	n := l.Size()
+	type slot struct {
+		out  int
+		expr gf2.Vec
+	}
+	seen := make(map[uint64][]slot, windowCycles*len(taps))
+	sym := lfsr.NewSymbolic(l)
+	scratch := gf2.NewVec(n)
+	for cyc := 0; cyc < windowCycles; cyc++ {
+		for o, ts := range taps {
+			scratch.Zero()
+			for _, c := range ts {
+				scratch.Xor(sym.Expr(c))
+			}
+			h := hashWords(scratch.Words())
+			for _, s := range seen[h] {
+				if s.out != o && s.expr.Equal(scratch) {
+					return o
+				}
+			}
+			seen[h] = append(seen[h], slot{out: o, expr: scratch.Clone()})
+		}
+		sym.Step()
+	}
+	return -1
+}
+
+func hashWords(ws []uint64) uint64 {
+	// FNV-1a over the words.
+	h := uint64(0xcbf29ce484222325)
+	for _, w := range ws {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * i)) & 0xff
+			h *= 0x100000001b3
+		}
+	}
+	return h
+}
+
+// Outputs returns the number of outputs m.
+func (p *PhaseShifter) Outputs() int { return len(p.taps) }
+
+// Size returns the LFSR size n the shifter was built for.
+func (p *PhaseShifter) Size() int { return p.n }
+
+// Taps returns the tap list of one output (read-only).
+func (p *PhaseShifter) Taps(out int) []int { return p.taps[out] }
+
+// Apply computes the m concrete output bits for a concrete LFSR state.
+func (p *PhaseShifter) Apply(state gf2.Vec) gf2.Vec {
+	if state.Len() != p.n {
+		panic(fmt.Sprintf("phaseshifter: state width %d != %d", state.Len(), p.n))
+	}
+	out := gf2.NewVec(len(p.taps))
+	for o, ts := range p.taps {
+		var b uint8
+		for _, c := range ts {
+			b ^= state.Bit(c)
+		}
+		out.SetBit(o, b)
+	}
+	return out
+}
+
+// ApplyInto is Apply without allocation; dst must have m bits.
+func (p *PhaseShifter) ApplyInto(dst, state gf2.Vec) {
+	for o, ts := range p.taps {
+		var b uint8
+		for _, c := range ts {
+			b ^= state.Bit(c)
+		}
+		dst.SetBit(o, b)
+	}
+}
+
+// ExprInto writes the symbolic expression of output o — the XOR of the cell
+// expressions — into dst (an n-bit scratch vector).
+func (p *PhaseShifter) ExprInto(dst gf2.Vec, sym *lfsr.Symbolic, o int) {
+	dst.Zero()
+	for _, c := range p.taps[o] {
+		dst.Xor(sym.Expr(c))
+	}
+}
+
+// XORGateCount returns the number of 2-input XOR gates a direct
+// implementation needs: taps-1 per output.
+func (p *PhaseShifter) XORGateCount() int {
+	total := 0
+	for _, ts := range p.taps {
+		total += len(ts) - 1
+	}
+	return total
+}

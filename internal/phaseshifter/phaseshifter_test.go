@@ -1,0 +1,160 @@
+package phaseshifter
+
+import (
+	"testing"
+
+	"repro/internal/gf2"
+	"repro/internal/lfsr"
+	"repro/internal/prng"
+)
+
+func std(t testing.TB, n int) *lfsr.LFSR {
+	t.Helper()
+	l, err := lfsr.NewStandard(lfsr.Fibonacci, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, [][]int{{0}}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New(4, nil); err == nil {
+		t.Error("no outputs accepted")
+	}
+	if _, err := New(4, [][]int{{}}); err == nil {
+		t.Error("empty tap set accepted")
+	}
+	if _, err := New(4, [][]int{{4}}); err == nil {
+		t.Error("out-of-range tap accepted")
+	}
+	if _, err := New(4, [][]int{{1, 1}}); err == nil {
+		t.Error("duplicate tap accepted")
+	}
+	ps, err := New(4, [][]int{{0, 2}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Outputs() != 2 || ps.Size() != 4 {
+		t.Error("dimensions wrong")
+	}
+	if ps.XORGateCount() != 1 {
+		t.Errorf("XOR count = %d", ps.XORGateCount())
+	}
+}
+
+func TestApplyMatchesTaps(t *testing.T) {
+	ps, _ := New(8, [][]int{{0, 3, 5}, {1}, {2, 7}})
+	src := prng.New(4)
+	for trial := 0; trial < 50; trial++ {
+		state := gf2.NewVec(8)
+		for i := 0; i < 8; i++ {
+			state.SetBit(i, src.Bit())
+		}
+		out := ps.Apply(state)
+		if out.Bit(0) != state.Bit(0)^state.Bit(3)^state.Bit(5) {
+			t.Fatal("output 0 wrong")
+		}
+		if out.Bit(1) != state.Bit(1) {
+			t.Fatal("output 1 wrong")
+		}
+		if out.Bit(2) != state.Bit(2)^state.Bit(7) {
+			t.Fatal("output 2 wrong")
+		}
+		dst := gf2.NewVec(3)
+		ps.ApplyInto(dst, state)
+		if !dst.Equal(out) {
+			t.Fatal("ApplyInto disagrees with Apply")
+		}
+	}
+}
+
+// TestSeparationNoDuplicateExpressions is the core guarantee: within the
+// verified window, no two outputs ever produce the same linear expression
+// of the seed, so no test cube can be structurally unencodable due to a
+// two-slot conflict.
+func TestSeparationNoDuplicateExpressions(t *testing.T) {
+	l := std(t, 20)
+	window := 200
+	ps, err := NewSeparated(l, 6, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := lfsr.NewSymbolic(l)
+	seen := make(map[string][2]int)
+	scratch := gf2.NewVec(20)
+	for cyc := 0; cyc < window; cyc++ {
+		for o := 0; o < ps.Outputs(); o++ {
+			ps.ExprInto(scratch, sym, o)
+			key := scratch.String()
+			if prev, dup := seen[key]; dup && prev[0] != o {
+				t.Fatalf("outputs %d and %d collide (cycles %d and %d)", prev[0], o, prev[1], cyc)
+			}
+			if _, dup := seen[key]; !dup {
+				seen[key] = [2]int{o, cyc}
+			}
+		}
+		sym.Step()
+	}
+}
+
+func TestSeparatedDeterministicAndVariants(t *testing.T) {
+	l := std(t, 24)
+	a, err := NewSeparated(l, 8, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSeparated(l, 8, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := 0; o < 8; o++ {
+		ta, tb := a.Taps(o), b.Taps(o)
+		if len(ta) != len(tb) {
+			t.Fatal("not deterministic")
+		}
+		for i := range ta {
+			if ta[i] != tb[i] {
+				t.Fatal("not deterministic")
+			}
+		}
+	}
+	v1, err := NewSeparatedVariant(l, 8, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	different := false
+	for o := 0; o < 8 && !different; o++ {
+		ta, tv := a.Taps(o), v1.Taps(o)
+		for i := range ta {
+			if i < len(tv) && ta[i] != tv[i] {
+				different = true
+				break
+			}
+		}
+	}
+	if !different {
+		t.Error("variant 1 identical to variant 0")
+	}
+}
+
+func TestSeparatedImpossibleFails(t *testing.T) {
+	// 2^8-1 = 255 states cannot hold 8 channels × 64 cycles = 512 distinct
+	// phases.
+	l := std(t, 8)
+	if _, err := NewSeparated(l, 8, 64); err == nil {
+		t.Error("impossible separation accepted")
+	}
+}
+
+func TestSeparatedRejectsBadArgs(t *testing.T) {
+	l := std(t, 16)
+	if _, err := NewSeparated(l, 0, 10); err == nil {
+		t.Error("0 outputs accepted")
+	}
+	if _, err := NewSeparated(l, 4, 0); err == nil {
+		t.Error("0 window accepted")
+	}
+}

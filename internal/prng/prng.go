@@ -1,0 +1,90 @@
+// Package prng provides a small deterministic pseudorandom generator used
+// everywhere this repository needs "random" data: filling the free variables
+// of LFSR seeds, generating synthetic test cubes, and building random
+// netlists. Determinism matters because the paper's experiments must be
+// bit-reproducible across runs and platforms; math/rand's stream is not
+// guaranteed stable across Go releases, so we pin SplitMix64 here.
+package prng
+
+// Source is a SplitMix64 generator. The zero value is a valid generator
+// seeded with 0; prefer New to make seeding explicit.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded with the given value.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 returns the next 64 pseudorandom bits.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Bit returns a single pseudorandom bit.
+func (s *Source) Bit() uint8 { return uint8(s.Uint64() >> 63) }
+
+// Intn returns a pseudorandom int in [0, n). It panics if n <= 0.
+// Uses rejection sampling so the distribution is exactly uniform.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive bound")
+	}
+	bound := uint64(n)
+	// Largest multiple of bound that fits in a uint64.
+	limit := (^uint64(0) / bound) * bound
+	for {
+		v := s.Uint64()
+		if v < limit {
+			return int(v % bound)
+		}
+	}
+}
+
+// Float64 returns a pseudorandom float in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a pseudorandom permutation of [0, n) via Fisher–Yates.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle pseudorandomly permutes the first n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Geometric returns a sample from a geometric distribution with success
+// probability p in (0, 1]: the number of failures before the first success
+// (support {0, 1, 2, ...}). Used for specified-bit run lengths in synthetic
+// cube generation.
+func (s *Source) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("prng: Geometric needs p in (0,1]")
+	}
+	n := 0
+	for s.Float64() >= p {
+		n++
+		if n > 1<<20 {
+			// Defensive bound; unreachable for sane p.
+			break
+		}
+	}
+	return n
+}

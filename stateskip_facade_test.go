@@ -1,0 +1,79 @@
+package stateskiplfsr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const facadeSet = `width 32
+1xx0xxxxxxxx1xxxxxxxxxxxxxxxxxx0
+x1xxxxxx0xxxxxxxxx1xxxxxxxxxxxxx
+xx11xxxxxxxxxxxx0xxxxxxxx1xxxxxx
+xxxxx0xxxx1xxxxxxxxxxx0xxxxxxxxx
+1xxxxxxxxxxxxxx1xxxxxxxxxxx0xxxx
+xxxxxxx1xxxxx0xxxxxxxxxxxxxxx1xx
+`
+
+func TestFacadeEndToEnd(t *testing.T) {
+	set, err := ReadCubes(strings.NewReader(facadeSet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, variant, err := EncodeAuto(14, set.Width, 4, 8, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = variant
+	if err := enc.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	red, err := Reduce(enc, ReduceOptions(2, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := red.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if red.TSL() > enc.TSL() {
+		t.Errorf("reduction did not shorten: %d vs %d", red.TSL(), enc.TSL())
+	}
+	sched := NewSchedule(red)
+	res, err := sched.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.VerifyCoverage(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeCubeHelpers(t *testing.T) {
+	c, err := ParseCube("1x0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SpecifiedCount() != 2 {
+		t.Errorf("spec = %d", c.SpecifiedCount())
+	}
+	l, err := NewLFSR(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 24 {
+		t.Errorf("size = %d", l.Size())
+	}
+	// Round trip through the serialisation format.
+	set, _ := ReadCubes(strings.NewReader(facadeSet))
+	var buf bytes.Buffer
+	if err := set.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadCubes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Len() != set.Len() {
+		t.Error("round trip lost cubes")
+	}
+}
