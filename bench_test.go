@@ -10,15 +10,20 @@
 package stateskiplfsr
 
 import (
+	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
 	"repro/internal/benchprofile"
 	"repro/internal/encoder"
 	"repro/internal/experiments"
+	"repro/internal/faultsim"
 	"repro/internal/hwcost"
 	"repro/internal/lfsr"
+	"repro/internal/netlist"
+	"repro/internal/prng"
 	"repro/internal/stateskip"
 )
 
@@ -138,6 +143,51 @@ func BenchmarkTable4(b *testing.B) {
 		b.ReportMetric(float64(tdv), "total-prop-TDV")
 	}
 	b.Log("\n" + md)
+}
+
+// BenchmarkCoverage measures fault-universe coverage of a fixed random
+// core, serial (workers=1) versus sharded across every CPU. Detection
+// results are bit-identical for any worker count (asserted by the
+// differential tests in internal/faultsim); only the wall clock differs.
+// At paper scale the core and pattern count grow to the size of the
+// paper's larger ISCAS'89-class circuits.
+func BenchmarkCoverage(b *testing.B) {
+	cfg := netlist.RandomConfig{Inputs: 96, Outputs: 32, Gates: 4000, MaxFan: 3, Seed: 2008}
+	numPatterns := 256
+	if benchScale() == benchprofile.ScalePaper {
+		cfg.Gates = 20000
+		cfg.Inputs = 256
+		cfg.Outputs = 128
+		numPatterns = 1024
+	}
+	nl, err := netlist.Random(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := faultsim.NewUniverse(nl)
+	src := prng.New(77)
+	patterns := make([][]uint8, numPatterns)
+	for i := range patterns {
+		p := make([]uint8, cfg.Inputs)
+		for j := range p {
+			p[j] = src.Bit()
+		}
+		patterns[i] = p
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var cov float64
+			for i := 0; i < b.N; i++ {
+				_, c, err := faultsim.CoverageOpts(u, patterns, faultsim.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cov = c
+			}
+			b.ReportMetric(cov*100, "coverage-%")
+			b.ReportMetric(float64(len(u.Faults)), "faults")
+		})
+	}
 }
 
 // BenchmarkHWSkipCircuit regenerates the §4 State-Skip-circuit overhead

@@ -4,14 +4,16 @@
 //
 // Usage:
 //
-//	stateskip [-scale=ci|paper] table1|table2|table3|table4|fig4|hw|soc|all
+//	stateskip [-scale=ci|paper] [-workers=N] table1|table2|table3|table4|fig4|hw|soc|all
 //	stateskip [-scale=...] gen -circuit s13207 -o cubes.txt
-//	stateskip atpg [-bench core.bench] -o cubes.txt
+//	stateskip [-workers=N] atpg [-bench core.bench] -o cubes.txt
 //	stateskip encode -circuit s13207 [-scale=...] -L 200
 //	stateskip verilog -n 24 -k 10 -o lfsr.v
 //
 // The paper scale reruns the full DATE'08 evaluation and takes minutes;
-// the default CI scale runs in seconds.
+// the default CI scale runs in seconds. -workers bounds the goroutines the
+// experiment drivers and the fault simulator fan out across (0, the
+// default, uses every CPU; results are identical for any value).
 package main
 
 import (
@@ -42,6 +44,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("stateskip", flag.ContinueOnError)
 	scaleFlag := fs.String("scale", scaleFromEnv(), "experiment scale: ci or paper")
+	workersFlag := fs.Int("workers", 0, "worker goroutines for experiments and fault simulation (0 = all CPUs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,13 +58,13 @@ func run(args []string) error {
 	cmd, rest := fs.Arg(0), fs.Args()[1:]
 	switch cmd {
 	case "table1", "table2", "table3", "table4", "fig4", "hw", "soc", "all":
-		return runExperiments(scale, cmd)
+		return runExperiments(scale, *workersFlag, cmd)
 	case "gen":
 		return runGen(scale, rest)
 	case "encode":
 		return runEncode(scale, rest)
 	case "atpg":
-		return runATPG(rest)
+		return runATPG(*workersFlag, rest)
 	case "verilog":
 		return runVerilog(rest)
 	default:
@@ -76,8 +79,9 @@ func scaleFromEnv() string {
 	return "ci"
 }
 
-func runExperiments(scale benchprofile.Scale, which string) error {
+func runExperiments(scale benchprofile.Scale, workers int, which string) error {
 	s := experiments.NewSession(scale)
+	s.Workers = workers
 	start := time.Now()
 	do := func(name string, f func() error) error {
 		if which != "all" && which != name {
@@ -239,7 +243,7 @@ func runEncode(scale benchprofile.Scale, args []string) error {
 
 // runATPG generates test cubes for a gate-level core: either a .bench
 // netlist supplied with -bench, or a deterministic random circuit.
-func runATPG(args []string) error {
+func runATPG(workers int, args []string) error {
 	fs := flag.NewFlagSet("atpg", flag.ContinueOnError)
 	bench := fs.String("bench", "", ".bench netlist (default: generated random core)")
 	inputs := fs.Int("inputs", 80, "inputs of the generated core")
@@ -277,7 +281,7 @@ func runATPG(args []string) error {
 	fmt.Fprintf(os.Stderr, "core: %d inputs, %d outputs, %d gates, %d levels\n",
 		st.Inputs, st.Outputs, st.Gates, st.Levels)
 	u := faultsim.NewUniverse(core)
-	res, err := atpg.RunAll(u, atpg.Options{FaultDrop: true, FillSeed: *seed})
+	res, err := atpg.RunAll(u, atpg.Options{FaultDrop: true, FillSeed: *seed, Workers: workers})
 	if err != nil {
 		return err
 	}

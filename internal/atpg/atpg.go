@@ -521,6 +521,10 @@ type Options struct {
 	FillSeed uint64
 	// BacktrackLimit overrides the generator default when > 0.
 	BacktrackLimit int
+	// Workers shards the fault-drop simulation of each new pattern across
+	// a pool of fault simulators. 0 or negative means one worker per CPU.
+	// The detected fault set is identical for any value.
+	Workers int
 }
 
 // RunAll generates test cubes for every fault of the universe.
@@ -532,7 +536,8 @@ func RunAll(u *faultsim.Universe, opt Options) (*Result, error) {
 	if opt.BacktrackLimit > 0 {
 		g.BacktrackLimit = opt.BacktrackLimit
 	}
-	sim, err := faultsim.NewSimulator(u)
+	poolSize := faultsim.Options{Workers: opt.Workers}.PoolSize(len(u.Faults))
+	sims, err := faultsim.NewSimulatorPool(u, poolSize)
 	if err != nil {
 		return nil, err
 	}
@@ -571,15 +576,13 @@ func RunAll(u *faultsim.Universe, opt Options) (*Result, error) {
 				}
 			}
 			res.Patterns = append(res.Patterns, pat)
-			if err := sim.LoadPatterns([][]uint8{pat}); err != nil {
+			if err := sims[0].LoadPatterns([][]uint8{pat}); err != nil {
 				return nil, err
 			}
-			for oi, of := range u.Faults {
-				if !done[oi] && sim.DetectMask(of) != 0 {
-					done[oi] = true
-					res.Detected++
-				}
+			for _, s := range sims[1:] {
+				s.AdoptPatterns(sims[0])
 			}
+			res.Detected += faultsim.DetectAll(sims, u.Faults, done)
 		}
 	}
 	if den := len(u.Faults) - res.Untestable; den > 0 {

@@ -53,6 +53,13 @@ func StandardConfigVariant(n, width, chains, L int, variant uint64) (Config, err
 // handful of variants virtually always suffices. It returns the encoding
 // and the variant that worked.
 func EncodeAuto(n, width, chains, L int, set *cube.Set) (*Encoding, uint64, error) {
+	return EncodeAutoWorkers(n, width, chains, L, set, 0)
+}
+
+// EncodeAutoWorkers is EncodeAuto with an explicit bound on the encoder's
+// candidate-scan parallelism (0 = GOMAXPROCS), for callers that already run
+// several encodings concurrently.
+func EncodeAutoWorkers(n, width, chains, L int, set *cube.Set, workers int) (*Encoding, uint64, error) {
 	const maxVariants = 16
 	var lastErr error
 	for v := uint64(0); v < maxVariants; v++ {
@@ -60,6 +67,7 @@ func EncodeAuto(n, width, chains, L int, set *cube.Set) (*Encoding, uint64, erro
 		if err != nil {
 			return nil, v, err
 		}
+		cfg.Workers = workers
 		enc, err := Encode(cfg, set)
 		if err == nil {
 			return enc, v, nil

@@ -9,7 +9,9 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/benchprofile"
 	"repro/internal/cube"
@@ -82,20 +84,51 @@ func ParamsFor(scale benchprofile.Scale) Params {
 
 // Session caches the expensive artefacts (generated cube sets and
 // encodings) across experiments, since Table 1/2/4 and Fig. 4 reuse the
-// same (circuit, L) encodings.
+// same (circuit, L) encodings. The table and figure drivers run their
+// independent cells on a worker pool (see Workers); the caches are
+// per-key memoized so concurrent drivers never compute an artefact twice.
 type Session struct {
 	Scale  benchprofile.Scale
 	Params Params
 
+	// Workers bounds the concurrency of the table/figure drivers and is
+	// forwarded to the encoder's candidate scan and the embedding scan, so
+	// 1 runs strictly serially. 0 or negative lets every layer use all
+	// CPUs. The rendered tables are identical for any value.
+	Workers int
+
 	mu   sync.Mutex
-	sets map[string]*cube.Set
-	encs map[encKey]*encoder.Encoding
-	idxs map[encKey]*stateskip.VecEmbeddings
+	sets map[string]*memo[*cube.Set]
+	encs map[encKey]*memo[*encoder.Encoding]
+	idxs map[encKey]*memo[*stateskip.VecEmbeddings]
 }
 
 type encKey struct {
 	circuit string
 	L       int
+}
+
+// memo is a once-guarded cache slot: the first goroutine to claim a key
+// computes it while later ones block on the same slot, so parallel drivers
+// requesting the same (circuit, L) artefact share one computation.
+type memo[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// cached returns the memoized value for key k of map m (guarded by mu),
+// computing it at most once across all goroutines.
+func cached[K comparable, V any](mu *sync.Mutex, m map[K]*memo[V], k K, compute func() (V, error)) (V, error) {
+	mu.Lock()
+	e, ok := m[k]
+	if !ok {
+		e = &memo[V]{}
+		m[k] = e
+	}
+	mu.Unlock()
+	e.once.Do(func() { e.val, e.err = compute() })
+	return e.val, e.err
 }
 
 // NewSession creates a session at the given scale with that scale's
@@ -104,73 +137,111 @@ func NewSession(scale benchprofile.Scale) *Session {
 	return &Session{
 		Scale:  scale,
 		Params: ParamsFor(scale),
-		sets:   make(map[string]*cube.Set),
-		encs:   make(map[encKey]*encoder.Encoding),
-		idxs:   make(map[encKey]*stateskip.VecEmbeddings),
+		sets:   make(map[string]*memo[*cube.Set]),
+		encs:   make(map[encKey]*memo[*encoder.Encoding]),
+		idxs:   make(map[encKey]*memo[*stateskip.VecEmbeddings]),
 	}
+}
+
+// workerCount resolves the session's worker budget for n independent work
+// items.
+func (s *Session) workerCount(n int) int {
+	w := s.Workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelFor runs fn(0..n-1) on the session's worker pool and returns the
+// lowest-index error, if any. Once an item fails, workers stop claiming new
+// indices (in-flight items finish). Callers must write results into
+// index-addressed slots so the assembled output is deterministic regardless
+// of scheduling.
+func (s *Session) parallelFor(n int, fn func(i int) error) error {
+	workers := s.workerCount(n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Set returns the (cached) synthetic cube set of one circuit.
 func (s *Session) Set(circuit string) (*cube.Set, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if set, ok := s.sets[circuit]; ok {
-		return set, nil
-	}
-	p, err := benchprofile.ByName(circuit, s.Scale)
-	if err != nil {
-		return nil, err
-	}
-	set := p.Generate()
-	s.sets[circuit] = set
-	return set, nil
+	return cached(&s.mu, s.sets, circuit, func() (*cube.Set, error) {
+		p, err := benchprofile.ByName(circuit, s.Scale)
+		if err != nil {
+			return nil, err
+		}
+		return p.Generate(), nil
+	})
 }
 
 // Encoding returns the (cached) window encoding of one circuit at window
 // length L.
 func (s *Session) Encoding(circuit string, L int) (*encoder.Encoding, error) {
-	s.mu.Lock()
-	if enc, ok := s.encs[encKey{circuit, L}]; ok {
-		s.mu.Unlock()
+	return cached(&s.mu, s.encs, encKey{circuit, L}, func() (*encoder.Encoding, error) {
+		set, err := s.Set(circuit)
+		if err != nil {
+			return nil, err
+		}
+		p, err := benchprofile.ByName(circuit, s.Scale)
+		if err != nil {
+			return nil, err
+		}
+		enc, _, err := encoder.EncodeAutoWorkers(p.LFSRSize, p.Width, p.Chains, L, set, s.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s L=%d: %w", circuit, L, err)
+		}
 		return enc, nil
-	}
-	s.mu.Unlock()
-
-	set, err := s.Set(circuit)
-	if err != nil {
-		return nil, err
-	}
-	p, err := benchprofile.ByName(circuit, s.Scale)
-	if err != nil {
-		return nil, err
-	}
-	enc, _, err := encoder.EncodeAuto(p.LFSRSize, p.Width, p.Chains, L, set)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s L=%d: %w", circuit, L, err)
-	}
-	s.mu.Lock()
-	s.encs[encKey{circuit, L}] = enc
-	s.mu.Unlock()
-	return enc, nil
+	})
 }
 
 // Index returns the (cached) vector-level embedding index of one encoding.
 func (s *Session) Index(circuit string, L int) (*stateskip.VecEmbeddings, error) {
-	s.mu.Lock()
-	if idx, ok := s.idxs[encKey{circuit, L}]; ok {
-		s.mu.Unlock()
-		return idx, nil
-	}
-	s.mu.Unlock()
-	enc, err := s.Encoding(circuit, L)
-	if err != nil {
-		return nil, err
-	}
-	idx := stateskip.ScanEmbeddings(enc)
-	s.mu.Lock()
-	s.idxs[encKey{circuit, L}] = idx
-	s.mu.Unlock()
-	return idx, nil
+	return cached(&s.mu, s.idxs, encKey{circuit, L}, func() (*stateskip.VecEmbeddings, error) {
+		enc, err := s.Encoding(circuit, L)
+		if err != nil {
+			return nil, err
+		}
+		return stateskip.ScanEmbeddingsWorkers(enc, s.Workers), nil
+	})
 }
 
 // Reduce runs useful-segment selection for a cached encoding, reusing the
@@ -184,7 +255,9 @@ func (s *Session) Reduce(circuit string, L, S, k int) (*stateskip.Reduction, err
 	if err != nil {
 		return nil, err
 	}
-	return stateskip.ReduceWithIndex(enc, idx, stateskip.DefaultOptions(S, k))
+	opt := stateskip.DefaultOptions(S, k)
+	opt.Workers = s.Workers
+	return stateskip.ReduceWithIndex(enc, idx, opt)
 }
 
 // BestReduction tries every (S, k) combination and returns the reduction

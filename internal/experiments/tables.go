@@ -24,23 +24,30 @@ type Table1Row struct {
 }
 
 // Table1 reproduces the paper's Table 1: classical (L=1) vs window-based
-// reseeding TDV/TSL per circuit.
+// reseeding TDV/TSL per circuit. The (circuit, L) cells are independent and
+// run on the session's worker pool.
 func (s *Session) Table1() ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, name := range benchprofile.Names() {
+	names := benchprofile.Names()
+	Ls := s.Params.Table1Ls
+	rows := make([]Table1Row, len(names))
+	for i, name := range names {
 		p, err := benchprofile.ByName(name, s.Scale)
 		if err != nil {
 			return nil, err
 		}
-		row := Table1Row{Circuit: name, LFSRSize: p.LFSRSize}
-		for _, L := range s.Params.Table1Ls {
-			enc, err := s.Encoding(name, L)
-			if err != nil {
-				return nil, err
-			}
-			row.Cells = append(row.Cells, Table1Cell{L: L, Seeds: len(enc.Seeds), TDV: enc.TDV(), TSL: enc.TSL()})
+		rows[i] = Table1Row{Circuit: name, LFSRSize: p.LFSRSize, Cells: make([]Table1Cell, len(Ls))}
+	}
+	err := s.parallelFor(len(names)*len(Ls), func(i int) error {
+		ci, li := i/len(Ls), i%len(Ls)
+		enc, err := s.Encoding(names[ci], Ls[li])
+		if err != nil {
+			return err
 		}
-		rows = append(rows, row)
+		rows[ci].Cells[li] = Table1Cell{L: Ls[li], Seeds: len(enc.Seeds), TDV: enc.TDV(), TSL: enc.TSL()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -98,26 +105,33 @@ type Table2Row struct {
 }
 
 // Table2 reproduces the paper's Table 2: TSL improvement of the State Skip
-// scheme over full windows, best over the (S, k) grid.
+// scheme over full windows, best over the (S, k) grid. The (circuit, L)
+// cells are independent and run on the session's worker pool.
 func (s *Session) Table2() ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, name := range benchprofile.Names() {
-		row := Table2Row{Circuit: name}
-		for _, L := range s.Params.Table2Ls {
-			best, err := s.BestReduction(name, L, s.Params.Table2Ss, s.Params.Table2Ks)
-			if err != nil {
-				return nil, err
-			}
-			row.Cells = append(row.Cells, Table2Cell{
-				L:     L,
-				Orig:  best.Enc.TSL(),
-				Prop:  best.TSL(),
-				Impr:  best.Improvement(),
-				BestS: best.Opt.SegmentSize,
-				BestK: best.Opt.Speedup,
-			})
+	names := benchprofile.Names()
+	Ls := s.Params.Table2Ls
+	rows := make([]Table2Row, len(names))
+	for i, name := range names {
+		rows[i] = Table2Row{Circuit: name, Cells: make([]Table2Cell, len(Ls))}
+	}
+	err := s.parallelFor(len(names)*len(Ls), func(i int) error {
+		ci, li := i/len(Ls), i%len(Ls)
+		best, err := s.BestReduction(names[ci], Ls[li], s.Params.Table2Ss, s.Params.Table2Ks)
+		if err != nil {
+			return err
 		}
-		rows = append(rows, row)
+		rows[ci].Cells[li] = Table2Cell{
+			L:     Ls[li],
+			Orig:  best.Enc.TSL(),
+			Prop:  best.TSL(),
+			Impr:  best.Improvement(),
+			BestS: best.Opt.SegmentSize,
+			BestK: best.Opt.Speedup,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -174,33 +188,42 @@ type Fig4Series struct {
 // several window lengths at fixed S (curves).
 func (s *Session) Fig4() (bars, curves []Fig4Series, err error) {
 	const circuit = "s13207"
-	for _, S := range s.Params.Fig4BarSs {
-		serie := Fig4Series{Label: fmt.Sprintf("S=%d (L=%d)", S, s.Params.Fig4BarL)}
-		for _, k := range s.Params.Fig4Ks {
-			red, err := s.Reduce(circuit, s.Params.Fig4BarL, S, k)
-			if err != nil {
-				return nil, nil, err
-			}
-			serie.Points = append(serie.Points, Fig4Point{K: k, Impr: red.Improvement()})
-		}
-		bars = append(bars, serie)
+	// Flatten both sweeps into one list of (L, S) series so they all run
+	// concurrently on the session's worker pool; the k-points of one series
+	// share nothing but the cached encoding.
+	type spec struct {
+		label string
+		L, S  int
 	}
+	var specs []spec
+	for _, S := range s.Params.Fig4BarSs {
+		specs = append(specs, spec{fmt.Sprintf("S=%d (L=%d)", S, s.Params.Fig4BarL), s.Params.Fig4BarL, S})
+	}
+	nbars := len(specs)
 	for _, L := range s.Params.Fig4CurveLs {
 		S := s.Params.Fig4CurveS
 		if S > L {
 			S = L
 		}
-		serie := Fig4Series{Label: fmt.Sprintf("L=%d (S=%d)", L, S)}
+		specs = append(specs, spec{fmt.Sprintf("L=%d (S=%d)", L, S), L, S})
+	}
+	series := make([]Fig4Series, len(specs))
+	err = s.parallelFor(len(specs), func(i int) error {
+		serie := Fig4Series{Label: specs[i].label}
 		for _, k := range s.Params.Fig4Ks {
-			red, err := s.Reduce(circuit, L, S, k)
+			red, err := s.Reduce(circuit, specs[i].L, specs[i].S, k)
 			if err != nil {
-				return nil, nil, err
+				return err
 			}
 			serie.Points = append(serie.Points, Fig4Point{K: k, Impr: red.Improvement()})
 		}
-		curves = append(curves, serie)
+		series[i] = serie
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	return bars, curves, nil
+	return series[:nbars], series[nbars:], nil
 }
 
 // Fig4Markdown renders both Fig. 4 sweeps as tables.
@@ -248,11 +271,13 @@ type Table3Row struct {
 // Table3 reproduces the paper's Table 3 comparison (L=300 at paper scale):
 // our measured TDV/TSL against the published values of [11] and [22].
 func (s *Session) Table3() ([]Table3Row, error) {
-	var rows []Table3Row
-	for _, name := range benchprofile.Names() {
+	names := benchprofile.Names()
+	rows := make([]Table3Row, len(names))
+	err := s.parallelFor(len(names), func(i int) error {
+		name := names[i]
 		best, err := s.BestReduction(name, s.Params.Table3L, s.Params.Table2Ss, s.Params.Table2Ks)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Table3Row{
 			Circuit: name,
@@ -263,7 +288,11 @@ func (s *Session) Table3() ([]Table3Row, error) {
 		}
 		row.Impr11 = 1 - float64(row.PropTSL)/float64(row.Lit11.TSL)
 		row.Impr22 = 1 - float64(row.PropTSL)/float64(row.Lit22.TSL)
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -302,15 +331,17 @@ type Table4Row struct {
 // test data compression (published TDVs) vs the proposed embedding
 // (classical L=1 and State-Skip-shortened L=200, both measured here).
 func (s *Session) Table4() ([]Table4Row, error) {
-	var rows []Table4Row
-	for _, name := range benchprofile.Names() {
+	names := benchprofile.Names()
+	rows := make([]Table4Row, len(names))
+	err := s.parallelFor(len(names), func(i int) error {
+		name := names[i]
 		classical, err := s.Encoding(name, 1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		best, err := s.BestReduction(name, s.Params.Table4PropL, s.Params.Table2Ss, s.Params.Table2Ks)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Table4Row{
 			Circuit:      name,
@@ -323,7 +354,11 @@ func (s *Session) Table4() ([]Table4Row, error) {
 		for _, m := range litdata.Table4Compression {
 			row.Compression[m.Name] = m.TDV[name]
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

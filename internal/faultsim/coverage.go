@@ -1,0 +1,135 @@
+package faultsim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Options tunes the parallel fault-simulation entry points.
+type Options struct {
+	// Workers is the number of goroutines the fault universe is sharded
+	// across, each with its own Simulator scratch state. 0 or negative
+	// means runtime.NumCPU(). Results are bit-identical for any value.
+	Workers int
+}
+
+// WorkerCount resolves the Workers field to an effective pool size.
+func (o Options) WorkerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// PoolSize is WorkerCount clamped to the fault universe being sharded:
+// never more workers than faults, never fewer than one.
+func (o Options) PoolSize(numFaults int) int {
+	w := o.WorkerCount()
+	if w > numFaults {
+		w = numFaults
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Coverage runs every fault of the universe against the given fully
+// specified patterns (batched 64 at a time) and returns per-fault
+// detection plus the coverage fraction. It uses a worker per CPU; use
+// CoverageOpts to control the pool size.
+func Coverage(u *Universe, patterns [][]uint8) (detected []bool, coverage float64, err error) {
+	return CoverageOpts(u, patterns, Options{})
+}
+
+// CoverageOpts is Coverage with an explicit worker-pool configuration.
+// Every fault index is owned by exactly one worker, so the detected slice
+// is written race-free and the result does not depend on scheduling.
+func CoverageOpts(u *Universe, patterns [][]uint8, opt Options) (detected []bool, coverage float64, err error) {
+	sims, err := NewSimulatorPool(u, opt.PoolSize(len(u.Faults)))
+	if err != nil {
+		return nil, 0, err
+	}
+	detected = make([]bool, len(u.Faults))
+	for start := 0; start < len(patterns); start += 64 {
+		end := min(start+64, len(patterns))
+		if err := sims[0].LoadPatterns(patterns[start:end]); err != nil {
+			return nil, 0, err
+		}
+		for _, sim := range sims[1:] {
+			sim.AdoptPatterns(sims[0])
+		}
+		DetectAll(sims, u.Faults, detected)
+	}
+	nd := 0
+	for _, d := range detected {
+		if d {
+			nd++
+		}
+	}
+	if len(u.Faults) > 0 {
+		coverage = float64(nd) / float64(len(u.Faults))
+	}
+	return detected, coverage, nil
+}
+
+// NewSimulatorPool builds n simulators over one universe. The shared
+// topology is computed once up front, so the per-simulator cost is only the
+// scratch arrays.
+func NewSimulatorPool(u *Universe, n int) ([]*Simulator, error) {
+	sims := make([]*Simulator, n)
+	for i := range sims {
+		sim, err := NewSimulator(u)
+		if err != nil {
+			return nil, err
+		}
+		sims[i] = sim
+	}
+	return sims, nil
+}
+
+// DetectAll shards faults across the simulator pool by stride and marks
+// newly detected ones in detected (entries already true are skipped, the
+// standard fault-drop rule). Every simulator must have the same patterns
+// loaded. Each worker owns a disjoint set of fault indices, so the writes
+// never race and the result does not depend on scheduling. It returns the
+// number of faults newly marked.
+func DetectAll(sims []*Simulator, faults []Fault, detected []bool) int {
+	if len(sims) == 1 {
+		count := 0
+		for fi, f := range faults {
+			if detected[fi] {
+				continue
+			}
+			if sims[0].DetectMask(f) != 0 {
+				detected[fi] = true
+				count++
+			}
+		}
+		return count
+	}
+	counts := make([]int, len(sims))
+	var wg sync.WaitGroup
+	for w := range sims {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sim := sims[w]
+			for fi := w; fi < len(faults); fi += len(sims) {
+				if detected[fi] {
+					continue
+				}
+				if sim.DetectMask(faults[fi]) != 0 {
+					detected[fi] = true
+					counts[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}

@@ -3,10 +3,19 @@
 // second half of the Atalanta substitute (DESIGN.md §2). The ATPG package
 // uses it to drop detected faults, and tests use it to confirm that every
 // cube the flow produces really detects its target fault.
+//
+// The simulator is event-driven: injecting a fault only re-evaluates the
+// gates inside the fault's output cone (scheduled level by level over the
+// levelized netlist), not the whole circuit. Faults whose site cannot reach
+// a primary output are rejected without simulating a single gate. Coverage
+// shards the fault universe across a worker pool (see Options) with one
+// Simulator of scratch state per worker; the per-universe topology (levels,
+// fan-out lists, output reachability) is computed once and shared.
 package faultsim
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/netlist"
 )
@@ -27,10 +36,15 @@ func (f Fault) String() string {
 }
 
 // Universe lists the faults of a circuit after structural equivalence
-// collapsing.
+// collapsing. It also lazily caches the circuit topology shared by every
+// Simulator built over it, so worker pools are cheap to spin up.
 type Universe struct {
 	Net    *netlist.Netlist
 	Faults []Fault
+
+	topoOnce sync.Once
+	topo     *topology
+	topoErr  error
 }
 
 // NewUniverse builds the collapsed stuck-at fault list.
@@ -68,26 +82,111 @@ func NewUniverse(n *netlist.Netlist) *Universe {
 	return u
 }
 
+// topology holds the per-circuit structures every Simulator shares: the
+// topological order, per-gate levels, fan-out lists and output
+// reachability. It is immutable once built.
+type topology struct {
+	order      []int
+	level      []int
+	numLevels  int
+	fanout     [][]int
+	isOutput   []bool
+	observable []bool // gate has a path to some primary output
+}
+
+// topology returns the (lazily computed, cached) circuit topology. Safe for
+// concurrent use; the levelization error, if any, is cached too.
+func (u *Universe) topology() (*topology, error) {
+	u.topoOnce.Do(func() {
+		u.topo, u.topoErr = newTopology(u.Net)
+	})
+	return u.topo, u.topoErr
+}
+
+func newTopology(n *netlist.Netlist) (*topology, error) {
+	order, err := n.Levelize()
+	if err != nil {
+		return nil, err
+	}
+	ng := n.NumGates()
+	t := &topology{
+		order:      order,
+		level:      make([]int, ng),
+		fanout:     make([][]int, ng),
+		isOutput:   make([]bool, ng),
+		observable: make([]bool, ng),
+	}
+	for gi, g := range n.Gates {
+		for _, f := range g.Fanin {
+			t.fanout[f] = append(t.fanout[f], gi)
+		}
+	}
+	for _, gi := range order {
+		for _, f := range n.Gates[gi].Fanin {
+			if t.level[f]+1 > t.level[gi] {
+				t.level[gi] = t.level[f] + 1
+			}
+		}
+		if t.level[gi]+1 > t.numLevels {
+			t.numLevels = t.level[gi] + 1
+		}
+	}
+	for _, o := range n.Outputs {
+		t.isOutput[o] = true
+	}
+	// Output reachability in reverse topological order: a gate is observable
+	// iff it is an output or some fan-out gate is. Events outside this set
+	// can never change a primary output, so DetectMask never schedules them.
+	for i := len(order) - 1; i >= 0; i-- {
+		gi := order[i]
+		if t.isOutput[gi] {
+			t.observable[gi] = true
+			continue
+		}
+		for _, fo := range t.fanout[gi] {
+			if t.observable[fo] {
+				t.observable[gi] = true
+				break
+			}
+		}
+	}
+	return t, nil
+}
+
 // Simulator evaluates up to 64 test patterns at once against the fault-free
 // circuit and, fault by fault, against the faulty one (serial fault,
-// parallel pattern — Atalanta's scheme).
+// parallel pattern — Atalanta's scheme). It is not safe for concurrent use;
+// build one per worker (they share the universe's topology).
 type Simulator struct {
-	u      *Universe
-	order  []int
+	u    *Universe
+	topo *topology
+
 	good   []uint64 // fault-free value per gate, bit i = pattern i
-	bad    []uint64 // scratch for faulty simulation
+	bad    []uint64 // faulty value per gate, valid only where stamp == epoch
+	stamp  []uint32 // epoch stamp marking gates with a diverged faulty value
+	queued []uint32 // epoch stamp marking gates scheduled for evaluation
+	epoch  uint32
+	levels [][]int // per-level worklist buckets, reused across faults
 	buf    []uint64
 	loaded uint64 // mask of valid pattern lanes
 }
 
 // NewSimulator prepares a simulator for the universe's netlist.
 func NewSimulator(u *Universe) (*Simulator, error) {
-	order, err := u.Net.Levelize()
+	topo, err := u.topology()
 	if err != nil {
 		return nil, err
 	}
 	ng := u.Net.NumGates()
-	return &Simulator{u: u, order: order, good: make([]uint64, ng), bad: make([]uint64, ng)}, nil
+	return &Simulator{
+		u:      u,
+		topo:   topo,
+		good:   make([]uint64, ng),
+		bad:    make([]uint64, ng),
+		stamp:  make([]uint32, ng),
+		queued: make([]uint32, ng),
+		levels: make([][]int, topo.numLevels),
+	}, nil
 }
 
 // LoadPatterns bit-slices up to 64 fully specified patterns (each of length
@@ -119,11 +218,20 @@ func (s *Simulator) LoadPatterns(patterns [][]uint8) error {
 	return nil
 }
 
-// evalInto evaluates the circuit into dst. If faultGate ≥ 0, the given
-// fault is injected.
+// AdoptPatterns copies the fault-free state of src, which must be a
+// simulator over the same universe with patterns loaded. A worker pool uses
+// it to pay the fault-free simulation once per 64-pattern batch.
+func (s *Simulator) AdoptPatterns(src *Simulator) {
+	copy(s.good, src.good)
+	s.loaded = src.loaded
+}
+
+// evalInto evaluates the whole circuit into dst. If faultGate ≥ 0, the
+// given fault is injected. It is the full (non-event-driven) evaluation,
+// used for the fault-free load and as the reference in differential tests.
 func (s *Simulator) evalInto(dst []uint64, faultGate int, f Fault) {
 	n := s.u.Net
-	for _, gi := range s.order {
+	for _, gi := range s.topo.order {
 		g := &n.Gates[gi]
 		if g.Type == netlist.Input {
 			dst[gi] = s.good[gi] // inputs always take the pattern values
@@ -153,50 +261,97 @@ func stuckWord(b uint8) uint64 {
 
 // DetectMask simulates one fault against the loaded patterns and returns a
 // bitmask of the patterns that detect it (differ on some primary output).
+//
+// The evaluation is event-driven: only gates downstream of the injection
+// point are re-evaluated, level by level, and propagation stops wherever
+// the faulty value reconverges with the fault-free one. Gates that cannot
+// reach a primary output are never scheduled.
 func (s *Simulator) DetectMask(f Fault) uint64 {
-	copy(s.bad, s.good)
+	t := s.topo
+	if !t.observable[f.Gate] {
+		return 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // uint32 wrap: every stale stamp would look current
+		clear(s.stamp)
+		clear(s.queued)
+		s.epoch = 1
+	}
+	s.schedule(f.Gate)
+	var diff uint64
+	for lv := t.level[f.Gate]; lv < len(s.levels); lv++ {
+		bucket := s.levels[lv]
+		if len(bucket) == 0 {
+			continue
+		}
+		for _, gi := range bucket {
+			v := s.evalFaulty(gi, f)
+			if v == s.good[gi] {
+				continue // reconverged: nothing propagates
+			}
+			s.bad[gi] = v
+			s.stamp[gi] = s.epoch
+			if t.isOutput[gi] {
+				diff |= s.good[gi] ^ v
+			}
+			for _, fo := range t.fanout[gi] {
+				if t.observable[fo] {
+					s.schedule(fo)
+				}
+			}
+		}
+		s.levels[lv] = bucket[:0]
+	}
+	return diff & s.loaded
+}
+
+// schedule queues a gate for evaluation in the current epoch. Fan-out gates
+// are always at a strictly higher level than their driver, so buckets below
+// the cursor are never appended to.
+func (s *Simulator) schedule(gi int) {
+	if s.queued[gi] == s.epoch {
+		return
+	}
+	s.queued[gi] = s.epoch
+	lv := s.topo.level[gi]
+	s.levels[lv] = append(s.levels[lv], gi)
+}
+
+// evalFaulty computes the faulty value of one gate from the current-epoch
+// faulty values of its fan-ins (falling back to the fault-free values) with
+// the fault injected.
+func (s *Simulator) evalFaulty(gi int, f Fault) uint64 {
+	if f.Gate == gi && f.Pin == -1 {
+		return stuckWord(f.Stuck)
+	}
+	g := &s.u.Net.Gates[gi]
+	if g.Type == netlist.Input {
+		return s.good[gi]
+	}
+	s.buf = s.buf[:0]
+	for pin, fi := range g.Fanin {
+		var fv uint64
+		switch {
+		case f.Gate == gi && f.Pin == pin:
+			fv = stuckWord(f.Stuck)
+		case s.stamp[fi] == s.epoch:
+			fv = s.bad[fi]
+		default:
+			fv = s.good[fi]
+		}
+		s.buf = append(s.buf, fv)
+	}
+	return g.Type.EvalWord(s.buf)
+}
+
+// detectMaskFull is the original full-circuit implementation of DetectMask,
+// kept as the reference oracle for differential tests of the event-driven
+// path.
+func (s *Simulator) detectMaskFull(f Fault) uint64 {
 	s.evalInto(s.bad, f.Gate, f)
 	var mask uint64
 	for _, o := range s.u.Net.Outputs {
 		mask |= s.good[o] ^ s.bad[o]
 	}
 	return mask & s.loaded
-}
-
-// Coverage runs every fault of the universe against the given fully
-// specified patterns (batched 64 at a time) and returns per-fault
-// detection plus the coverage fraction.
-func Coverage(u *Universe, patterns [][]uint8) (detected []bool, coverage float64, err error) {
-	sim, err := NewSimulator(u)
-	if err != nil {
-		return nil, 0, err
-	}
-	detected = make([]bool, len(u.Faults))
-	for start := 0; start < len(patterns); start += 64 {
-		end := start + 64
-		if end > len(patterns) {
-			end = len(patterns)
-		}
-		if err := sim.LoadPatterns(patterns[start:end]); err != nil {
-			return nil, 0, err
-		}
-		for fi, f := range u.Faults {
-			if detected[fi] {
-				continue
-			}
-			if sim.DetectMask(f) != 0 {
-				detected[fi] = true
-			}
-		}
-	}
-	nd := 0
-	for _, d := range detected {
-		if d {
-			nd++
-		}
-	}
-	if len(u.Faults) > 0 {
-		coverage = float64(nd) / float64(len(u.Faults))
-	}
-	return detected, coverage, nil
 }

@@ -158,3 +158,38 @@ func BenchmarkFaultSim64Patterns(b *testing.B) {
 		sim.DetectMask(u.Faults[i%len(u.Faults)])
 	}
 }
+
+// BenchmarkDetectMaskEngine compares the event-driven DetectMask against
+// the full-circuit reference evaluation on the same universe — the
+// single-core speedup of the cone-limited hot path, independent of the
+// worker pool.
+func BenchmarkDetectMaskEngine(b *testing.B) {
+	nl, _ := netlist.Random(netlist.RandomConfig{Inputs: 96, Outputs: 32, Gates: 4000, MaxFan: 3, Seed: 2008})
+	u := NewUniverse(nl)
+	sim, err := NewSimulator(u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := prng.New(1)
+	patterns := make([][]uint8, 64)
+	for i := range patterns {
+		p := make([]uint8, 96)
+		for j := range p {
+			p[j] = src.Bit()
+		}
+		patterns[i] = p
+	}
+	if err := sim.LoadPatterns(patterns); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("event-driven", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.DetectMask(u.Faults[i%len(u.Faults)])
+		}
+	})
+	b.Run("full-eval", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.detectMaskFull(u.Faults[i%len(u.Faults)])
+		}
+	})
+}

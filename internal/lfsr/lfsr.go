@@ -12,6 +12,7 @@ package lfsr
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/gf2"
 )
@@ -40,15 +41,20 @@ func (f Form) String() string {
 	}
 }
 
-// LFSR is an immutable description of a linear feedback shift register:
-// its size, feedback form, characteristic-polynomial coefficients and the
-// derived transition matrix. State vectors live outside the struct so one
-// LFSR can drive many concurrent simulations.
+// LFSR is a description of a linear feedback shift register: its size,
+// feedback form, characteristic-polynomial coefficients and the derived
+// transition matrix. State vectors live outside the struct so one LFSR can
+// drive many concurrent simulations; the only internal mutability is a
+// mutex-guarded memo of skip matrices, so all methods are safe for
+// concurrent use.
 type LFSR struct {
 	n      int
 	form   Form
 	coeffs gf2.Vec // coeffs.Bit(i) = coefficient of x^i, i in [0,n); x^n implied
 	t      gf2.Mat // transition matrix: next = t·state
+
+	mu    sync.Mutex         // guards skips
+	skips map[uint64]gf2.Mat // memoized T^k per speedup factor k
 }
 
 // New builds an LFSR of size n with the given characteristic polynomial
@@ -63,7 +69,7 @@ func New(form Form, coeffs gf2.Vec) (*LFSR, error) {
 	if coeffs.Bit(0) != 1 {
 		return nil, fmt.Errorf("lfsr: constant coefficient must be 1 for an invertible transition")
 	}
-	l := &LFSR{n: n, form: form, coeffs: coeffs.Clone()}
+	l := &LFSR{n: n, form: form, coeffs: coeffs.Clone(), skips: make(map[uint64]gf2.Mat)}
 	l.t = l.buildTransition()
 	return l, nil
 }
@@ -154,9 +160,13 @@ func (l *LFSR) buildTransition() gf2.Mat {
 	return t
 }
 
-// Step returns the successor of state (one Normal-mode clock).
+// Step returns the successor of state (one Normal-mode clock). It performs
+// the O(n) shift directly rather than raising the transition matrix to a
+// power, so it is safe to call once per simulated clock.
 func (l *LFSR) Step(state gf2.Vec) gf2.Vec {
-	return l.stepBy(state, 1)
+	dst := gf2.NewVec(l.n)
+	l.StepInto(dst, state)
+	return dst
 }
 
 // StepInto writes the successor of state into dst without allocating.
@@ -190,14 +200,20 @@ func (l *LFSR) StepInto(dst, state gf2.Vec) {
 	}
 }
 
-// stepBy advances state by k states using T^k. Used by Step and SkipStep.
-func (l *LFSR) stepBy(state gf2.Vec, k uint64) gf2.Vec {
-	return l.t.Pow(k).MulVec(state)
-}
-
 // SkipMatrix returns T^k, the linear function implemented by the State Skip
-// circuit with speedup factor k.
-func (l *LFSR) SkipMatrix(k uint64) gf2.Mat { return l.t.Pow(k) }
+// circuit with speedup factor k. The O(n³ log k) exponentiation is memoized
+// per k on the LFSR (safe for concurrent use); callers receive a private
+// copy they may freely modify.
+func (l *LFSR) SkipMatrix(k uint64) gf2.Mat {
+	l.mu.Lock()
+	m, ok := l.skips[k]
+	if !ok {
+		m = l.t.Pow(k)
+		l.skips[k] = m
+	}
+	l.mu.Unlock()
+	return m.Clone()
+}
 
 // Period runs the register from state 0...01 until it revisits the initial
 // state and returns the cycle length. Only intended for n small enough to

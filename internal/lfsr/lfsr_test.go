@@ -270,6 +270,16 @@ func BenchmarkSymbolicStep(b *testing.B) {
 	}
 }
 
+func BenchmarkStep(b *testing.B) {
+	l, _ := NewStandard(Fibonacci, 85)
+	state := gf2.NewVec(85)
+	state.SetBit(0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		state = l.Step(state)
+	}
+}
+
 func BenchmarkSkipMatrix(b *testing.B) {
 	l, _ := NewStandard(Fibonacci, 85)
 	b.ResetTimer()

@@ -95,6 +95,13 @@ func ScanEmbeddings(enc *encoder.Encoding) *VecEmbeddings {
 	return scanEmbeddingsWorkers(enc, 0)
 }
 
+// ScanEmbeddingsWorkers is ScanEmbeddings with an explicit bound on the
+// per-seed scan parallelism (0 = GOMAXPROCS), for callers that already run
+// several scans concurrently.
+func ScanEmbeddingsWorkers(enc *encoder.Encoding, workers int) *VecEmbeddings {
+	return scanEmbeddingsWorkers(enc, workers)
+}
+
 func scanEmbeddingsWorkers(enc *encoder.Encoding, workers int) *VecEmbeddings {
 	nCubes := enc.Set.Len()
 	perSeed := make([][][]int, len(enc.Seeds)) // [seed][cube] = vector indices
