@@ -16,6 +16,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/atpg"
 	"repro/internal/benchprofile"
 	"repro/internal/encoder"
 	"repro/internal/experiments"
@@ -185,6 +186,42 @@ func BenchmarkCoverage(b *testing.B) {
 				cov = c
 			}
 			b.ReportMetric(cov*100, "coverage-%")
+			b.ReportMetric(float64(len(u.Faults)), "faults")
+		})
+	}
+}
+
+// BenchmarkRunAll measures the full ATPG pipeline (speculative PODEM +
+// commit-ordered X-fill + 64-wide batched fault dropping) end to end,
+// serial versus pipelined across every CPU. Cubes, patterns and counters
+// are bit-identical for any worker count (asserted by atpg's differential
+// tests under -race); only the wall clock differs. At paper scale the core
+// grows to the size of the paper's larger ISCAS'89-class circuits.
+func BenchmarkRunAll(b *testing.B) {
+	cfg := netlist.RandomConfig{Inputs: 400, Outputs: 160, Gates: 800, MaxFan: 3, Seed: 2008}
+	if benchScale() == benchprofile.ScalePaper {
+		cfg = netlist.RandomConfig{Inputs: 800, Outputs: 320, Gates: 2400, MaxFan: 3, Seed: 2008}
+	}
+	nl, err := netlist.Random(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := faultsim.NewUniverse(nl)
+	// Backtrack limit 20 is the production norm for drop-loop ATPG; the
+	// default 1000 makes hard faults cost seconds each on circuits this
+	// size without changing the picture the benchmark draws.
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var res *atpg.Result
+			for i := 0; i < b.N; i++ {
+				r, err := atpg.RunAll(u, atpg.Options{FaultDrop: true, FillSeed: 7, Workers: workers, BacktrackLimit: 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res = r
+			}
+			b.ReportMetric(res.Coverage*100, "coverage-%")
+			b.ReportMetric(float64(res.Cubes.Len()), "cubes")
 			b.ReportMetric(float64(len(u.Faults)), "faults")
 		})
 	}

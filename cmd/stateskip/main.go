@@ -12,21 +12,26 @@
 //
 // The paper scale reruns the full DATE'08 evaluation and takes minutes;
 // the default CI scale runs in seconds. -workers bounds the goroutines the
-// experiment drivers and the fault simulator fan out across (0, the
-// default, uses every CPU; results are identical for any value).
+// experiment drivers, the ATPG pipeline and the fault simulator fan out
+// across (0, the default, uses every CPU; results are identical for any
+// value). -cpuprofile/-memprofile write runtime/pprof profiles of any
+// subcommand, so the ATPG and encoder hot paths can be measured directly:
+//
+//	stateskip -cpuprofile atpg.pprof atpg -gates 4000
+//	go tool pprof atpg.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
-	"repro/internal/atpg"
 	"repro/internal/benchprofile"
 	"repro/internal/encoder"
 	"repro/internal/experiments"
-	"repro/internal/faultsim"
 	"repro/internal/lfsr"
 	"repro/internal/netlist"
 	"repro/internal/phaseshifter"
@@ -44,12 +49,35 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("stateskip", flag.ContinueOnError)
 	scaleFlag := fs.String("scale", scaleFromEnv(), "experiment scale: ci or paper")
-	workersFlag := fs.Int("workers", 0, "worker goroutines for experiments and fault simulation (0 = all CPUs)")
+	workersFlag := fs.Int("workers", 0, "worker goroutines for experiments, ATPG and fault simulation (0 = all CPUs)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the subcommand to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file when the subcommand finishes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() < 1 {
 		return fmt.Errorf("missing subcommand (table1|table2|table3|table4|fig4|hw|soc|all|gen|encode|atpg|verilog)")
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := writeMemProfile(*memprofile); err != nil {
+				fmt.Fprintln(os.Stderr, "stateskip: memprofile:", err)
+			}
+		}()
 	}
 	scale := benchprofile.ScaleCI
 	if *scaleFlag == "paper" {
@@ -64,12 +92,24 @@ func run(args []string) error {
 	case "encode":
 		return runEncode(scale, rest)
 	case "atpg":
-		return runATPG(*workersFlag, rest)
+		return runATPG(scale, *workersFlag, rest)
 	case "verilog":
 		return runVerilog(rest)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
 	}
+}
+
+// writeMemProfile snapshots the heap after a final GC, so the profile
+// reflects live allocations rather than garbage.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	return pprof.WriteHeapProfile(f)
 }
 
 func scaleFromEnv() string {
@@ -243,7 +283,7 @@ func runEncode(scale benchprofile.Scale, args []string) error {
 
 // runATPG generates test cubes for a gate-level core: either a .bench
 // netlist supplied with -bench, or a deterministic random circuit.
-func runATPG(workers int, args []string) error {
+func runATPG(scale benchprofile.Scale, workers int, args []string) error {
 	fs := flag.NewFlagSet("atpg", flag.ContinueOnError)
 	bench := fs.String("bench", "", ".bench netlist (default: generated random core)")
 	inputs := fs.Int("inputs", 80, "inputs of the generated core")
@@ -280,8 +320,9 @@ func runATPG(workers int, args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "core: %d inputs, %d outputs, %d gates, %d levels\n",
 		st.Inputs, st.Outputs, st.Gates, st.Levels)
-	u := faultsim.NewUniverse(core)
-	res, err := atpg.RunAll(u, atpg.Options{FaultDrop: true, FillSeed: *seed, Workers: workers})
+	s := experiments.NewSession(scale)
+	s.Workers = workers
+	u, res, err := s.ATPG(core, *seed)
 	if err != nil {
 		return err
 	}

@@ -17,10 +17,15 @@
 //     vectors are fault-simulated to show the compressed, shortened test
 //     still reaches the ATPG's coverage.
 //
-//     go run ./examples/ip_core_flow
+//     go run ./examples/ip_core_flow [-workers N]
+//
+// -workers bounds the goroutines of the ATPG pipeline and the fault
+// simulator (0 = all CPUs); cubes, patterns and coverage are identical
+// for any value.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -31,6 +36,9 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "worker goroutines for ATPG and fault simulation (0 = all CPUs)")
+	flag.Parse()
+
 	// 1. The "vendor's" core: an 80-input scan circuit.
 	core, err := netlist.Random(netlist.RandomConfig{
 		Inputs: 80, Outputs: 48, Gates: 260, MaxFan: 3, Seed: 2008,
@@ -44,7 +52,7 @@ func main() {
 
 	// 2. ATPG: collapsed stuck-at faults, PODEM with fault dropping.
 	universe := faultsim.NewUniverse(core)
-	res, err := atpg.RunAll(universe, atpg.Options{FaultDrop: true, FillSeed: 1})
+	res, err := atpg.RunAll(universe, atpg.Options{FaultDrop: true, FillSeed: 1, Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +63,7 @@ func main() {
 		res.Coverage*100, sum.MeanSpecified, sum.MaxSpecified, sum.Width)
 
 	// 3. Independent verification of the shipped patterns.
-	_, cov, err := faultsim.Coverage(universe, res.Patterns)
+	_, cov, err := faultsim.CoverageOpts(universe, res.Patterns, faultsim.Options{Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,7 +107,7 @@ func main() {
 		}
 		applied[i] = p
 	}
-	_, finalCov, err := faultsim.Coverage(universe, applied)
+	_, finalCov, err := faultsim.CoverageOpts(universe, applied, faultsim.Options{Workers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,6 +15,8 @@ package atpg
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/cube"
 	"repro/internal/faultsim"
@@ -41,6 +43,20 @@ type Generator struct {
 
 	good, bad []uint8 // 3-valued good/faulty circuit values
 	fanout    [][]int
+	isOutput  []bool
+	inputIdx  []int // gate index → position in net.Inputs, -1 otherwise
+
+	// Per-Generate scratch, reused across faults so the PODEM inner loops
+	// allocate nothing: the D-frontier worklist, epoch-stamped visit marks
+	// for the X-path DFS, and the fault site's output cone (the only gates
+	// the D-frontier scan must visit).
+	dfBuf     []int
+	dfStack   []int
+	seen      []uint32
+	seenEpoch uint32
+	orderPos  []int // gate index → position in order
+	cone      []int // fault cone, sorted in topological order
+	coneMark  []bool
 
 	// Limits.
 	BacktrackLimit int
@@ -59,7 +75,15 @@ func New(n *netlist.Netlist) (*Generator, error) {
 		bad:            make([]uint8, n.NumGates()),
 		level:          make([]int, n.NumGates()),
 		fanout:         make([][]int, n.NumGates()),
+		isOutput:       make([]bool, n.NumGates()),
+		inputIdx:       make([]int, n.NumGates()),
+		seen:           make([]uint32, n.NumGates()),
+		orderPos:       make([]int, n.NumGates()),
+		coneMark:       make([]bool, n.NumGates()),
 		BacktrackLimit: 1000,
+	}
+	for pos, gi := range order {
+		g.orderPos[gi] = pos
 	}
 	for gi, gate := range n.Gates {
 		for _, f := range gate.Fanin {
@@ -68,6 +92,15 @@ func New(n *netlist.Netlist) (*Generator, error) {
 				g.level[gi] = g.level[f] + 1
 			}
 		}
+	}
+	for _, o := range n.Outputs {
+		g.isOutput[o] = true
+	}
+	for gi := range g.inputIdx {
+		g.inputIdx[gi] = -1
+	}
+	for ii, gi := range n.Inputs {
+		g.inputIdx[gi] = ii
 	}
 	g.computeControllability()
 	return g, nil
@@ -169,9 +202,9 @@ func (g *Generator) Generate(f faultsim.Fault) (cube.Cube, Status) {
 		flipped bool
 	}
 	var stack []decision
-	assigned := make(map[int]bool) // input gate index → assigned
 	backtracks := 0
 
+	g.computeCone(f)
 	imply := func() {
 		g.simulate(f)
 	}
@@ -192,7 +225,7 @@ func (g *Generator) Generate(f faultsim.Fault) (cube.Cube, Status) {
 		var piVal uint8
 		backtraceOK := false
 		if feasible {
-			piIdx, piVal, backtraceOK = g.backtrace(objGate, objVal, assigned)
+			piIdx, piVal, backtraceOK = g.backtrace(objGate, objVal)
 		}
 		if !feasible || !backtraceOK {
 			// Conflict or no X-path: chronological backtracking.
@@ -211,7 +244,6 @@ func (g *Generator) Generate(f faultsim.Fault) (cube.Cube, Status) {
 					}
 					break
 				}
-				assigned[g.net.Inputs[top.input]] = false
 				g.good[g.net.Inputs[top.input]] = vX
 				stack = stack[:len(stack)-1]
 			}
@@ -220,7 +252,6 @@ func (g *Generator) Generate(f faultsim.Fault) (cube.Cube, Status) {
 		}
 		gi := n.Inputs[piIdx]
 		stack = append(stack, decision{input: piIdx, value: piVal})
-		assigned[gi] = true
 		g.good[gi] = piVal
 		imply()
 	}
@@ -371,11 +402,41 @@ func (g *Generator) objective(f faultsim.Fault) (gate int, val uint8, feasible b
 	return 0, 0, false
 }
 
+// computeCone collects the gates reachable from the fault site — the only
+// gates a good/faulty difference can ever appear on — sorted in
+// topological order so the D-frontier scan visits them exactly as a scan
+// of the full order would.
+func (g *Generator) computeCone(f faultsim.Fault) {
+	for _, gi := range g.cone {
+		g.coneMark[gi] = false
+	}
+	g.cone = g.cone[:0]
+	stack := g.dfStack[:0]
+	g.coneMark[f.Gate] = true
+	g.cone = append(g.cone, f.Gate)
+	stack = append(stack, f.Gate)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, fo := range g.fanout[cur] {
+			if !g.coneMark[fo] {
+				g.coneMark[fo] = true
+				g.cone = append(g.cone, fo)
+				stack = append(stack, fo)
+			}
+		}
+	}
+	g.dfStack = stack[:0]
+	sort.Slice(g.cone, func(i, j int) bool { return g.orderPos[g.cone[i]] < g.orderPos[g.cone[j]] })
+}
+
 // dFrontier lists gates whose output is still X (good or faulty) but which
-// have a definite good/faulty difference on some input.
+// have a definite good/faulty difference on some input. The returned slice
+// is scratch, valid until the next call. Only the fault cone is scanned: a
+// difference cannot exist anywhere else.
 func (g *Generator) dFrontier(f faultsim.Fault) []int {
-	var out []int
-	for _, gi := range g.order {
+	out := g.dfBuf[:0]
+	for _, gi := range g.cone {
 		gate := &g.net.Gates[gi]
 		if gate.Type == netlist.Input {
 			continue
@@ -394,6 +455,7 @@ func (g *Generator) dFrontier(f faultsim.Fault) []int {
 			}
 		}
 	}
+	g.dfBuf = out
 	return out
 }
 
@@ -401,36 +463,35 @@ func (g *Generator) dFrontier(f faultsim.Fault) []int {
 // gi to some primary output (gi itself may hold a definite faulty value —
 // only the forward path must still be open).
 func (g *Generator) xPathToOutput(gi int) bool {
-	isOut := func(x int) bool {
-		for _, o := range g.net.Outputs {
-			if o == x {
-				return true
-			}
-		}
-		return false
-	}
-	if isOut(gi) {
+	if g.isOutput[gi] {
 		return true
 	}
-	seen := make(map[int]bool)
-	stack := []int{gi}
+	g.seenEpoch++
+	if g.seenEpoch == 0 { // uint32 wrap: every stale stamp would look current
+		clear(g.seen)
+		g.seenEpoch = 1
+	}
+	stack := g.dfStack[:0]
+	stack = append(stack, gi)
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, fo := range g.fanout[cur] {
-			if seen[fo] {
+			if g.seen[fo] == g.seenEpoch {
 				continue
 			}
-			seen[fo] = true
+			g.seen[fo] = g.seenEpoch
 			if g.good[fo] != vX && g.bad[fo] != vX {
 				continue // definite value: propagation blocked here
 			}
-			if isOut(fo) {
+			if g.isOutput[fo] {
+				g.dfStack = stack
 				return true
 			}
 			stack = append(stack, fo)
 		}
 	}
+	g.dfStack = stack
 	return false
 }
 
@@ -449,7 +510,7 @@ func nonControlling(t netlist.GateType) (uint8, bool) {
 // backtrace walks an objective (gate, value) backwards to an unassigned
 // primary input, inverting the target value through inverting gates and
 // choosing the easiest-to-control fan-in by the SCOAP weights.
-func (g *Generator) backtrace(gate int, val uint8, assigned map[int]bool) (piIdx int, piVal uint8, ok bool) {
+func (g *Generator) backtrace(gate int, val uint8) (piIdx int, piVal uint8, ok bool) {
 	n := g.net
 	cur, want := gate, val
 	for steps := 0; steps < n.NumGates()+1; steps++ {
@@ -458,10 +519,8 @@ func (g *Generator) backtrace(gate int, val uint8, assigned map[int]bool) (piIdx
 			if g.good[cur] != vX {
 				return 0, 0, false // already assigned; objective unreachable
 			}
-			for ii, gi := range n.Inputs {
-				if gi == cur {
-					return ii, want, true
-				}
+			if ii := g.inputIdx[cur]; ii >= 0 {
+				return ii, want, true
 			}
 			return 0, 0, false
 		}
@@ -521,72 +580,252 @@ type Options struct {
 	FillSeed uint64
 	// BacktrackLimit overrides the generator default when > 0.
 	BacktrackLimit int
-	// Workers shards the fault-drop simulation of each new pattern across
-	// a pool of fault simulators. 0 or negative means one worker per CPU.
-	// The detected fault set is identical for any value.
+	// Workers parallelizes RunAll: cube generation runs speculatively on a
+	// pool of per-worker Generators over a sliding window of upcoming
+	// faults, and the fault-drop sweep of each committed 64-pattern batch
+	// is sharded across a pool of fault simulators. 0 or negative means
+	// one worker per CPU. Results commit strictly in fault-index order, so
+	// the emitted cubes, patterns and counters are bit-identical for any
+	// value.
 	Workers int
 }
 
 // RunAll generates test cubes for every fault of the universe.
+//
+// With FaultDrop on, committed patterns accumulate into 64-wide batches so
+// every DetectAll sweep over the remaining universe fills all 64 simulator
+// lanes; between sweeps each PODEM candidate is first checked against the
+// pending (not yet swept) lanes with one event-driven DetectMask. A fault
+// therefore reaches PODEM exactly when no earlier committed pattern
+// detects it — the same rule as the classic sweep-after-every-pattern
+// loop, which this replaces bit for bit at a fraction of the simulation
+// work.
 func RunAll(u *faultsim.Universe, opt Options) (*Result, error) {
-	g, err := New(u.Net)
+	workers := faultsim.Options{Workers: opt.Workers}.PoolSize(len(u.Faults))
+	sims, err := faultsim.NewSimulatorPool(u, workers)
 	if err != nil {
 		return nil, err
 	}
-	if opt.BacktrackLimit > 0 {
-		g.BacktrackLimit = opt.BacktrackLimit
+	r := &runner{
+		u:    u,
+		opt:  opt,
+		sims: sims,
+		src:  prng.New(opt.FillSeed),
+		res:  &Result{Cubes: cube.NewSet(len(u.Net.Inputs))},
+		done: make([]bool, len(u.Faults)),
 	}
-	poolSize := faultsim.Options{Workers: opt.Workers}.PoolSize(len(u.Faults))
-	sims, err := faultsim.NewSimulatorPool(u, poolSize)
+	if workers > 1 {
+		err = r.runPipelined(workers)
+	} else {
+		err = r.runSerial()
+	}
 	if err != nil {
 		return nil, err
 	}
-	src := prng.New(opt.FillSeed)
-	res := &Result{Cubes: cube.NewSet(len(u.Net.Inputs))}
-	done := make([]bool, len(u.Faults))
-	for fi, f := range u.Faults {
-		if done[fi] {
+	if den := len(u.Faults) - r.res.Untestable; den > 0 {
+		r.res.Coverage = float64(r.res.Detected) / float64(den)
+	}
+	return r.res, nil
+}
+
+// runner holds the shared state of one RunAll invocation. All of it is
+// owned by the committing goroutine — generation workers only ever touch
+// their own job slots — so the done evolution, the FillSeed stream and
+// every counter advance in fault-index order regardless of scheduling.
+type runner struct {
+	u    *faultsim.Universe
+	opt  Options
+	sims []*faultsim.Simulator // sims[0] accumulates the pending batch
+	src  *prng.Source
+	res  *Result
+	done []bool
+}
+
+func (r *runner) newGenerator() (*Generator, error) {
+	g, err := New(r.u.Net)
+	if err != nil {
+		return nil, err
+	}
+	if r.opt.BacktrackLimit > 0 {
+		g.BacktrackLimit = r.opt.BacktrackLimit
+	}
+	return g, nil
+}
+
+// runSerial is the one-worker path: generate at the commit point, no
+// speculation. Batching and the pending-lane check are identical to the
+// pipelined path, so results match for any worker count.
+func (r *runner) runSerial() error {
+	g, err := r.newGenerator()
+	if err != nil {
+		return err
+	}
+	for fi, f := range r.u.Faults {
+		if r.done[fi] || r.dropPending(fi) {
 			continue
 		}
 		c, status := g.Generate(f)
-		switch status {
-		case StatusUntestable:
-			res.Untestable++
-			done[fi] = true
-			continue
-		case StatusAborted:
-			res.Aborted++
-			done[fi] = true
-			continue
-		}
-		res.Detected++
-		done[fi] = true
-		if err := res.Cubes.Add(c); err != nil {
-			return nil, err
-		}
-		if opt.FaultDrop {
-			// Random-fill the cube and drop everything the pattern detects.
-			pat := make([]uint8, c.Width())
-			for i := 0; i < c.Width(); i++ {
-				switch c.Get(i) {
-				case -1:
-					pat[i] = src.Bit()
-				default:
-					pat[i] = uint8(c.Get(i))
-				}
-			}
-			res.Patterns = append(res.Patterns, pat)
-			if err := sims[0].LoadPatterns([][]uint8{pat}); err != nil {
-				return nil, err
-			}
-			for _, s := range sims[1:] {
-				s.AdoptPatterns(sims[0])
-			}
-			res.Detected += faultsim.DetectAll(sims, u.Faults, done)
+		if err := r.commit(fi, c, status); err != nil {
+			return err
 		}
 	}
-	if den := len(u.Faults) - res.Untestable; den > 0 {
-		res.Coverage = float64(res.Detected) / float64(den)
+	return nil
+}
+
+// specJob is one speculative PODEM run. The owning worker writes c and
+// status, then closes ready; the committer reads them only after <-ready.
+type specJob struct {
+	fi     int
+	c      cube.Cube
+	status Status
+	ready  chan struct{}
+}
+
+// runPipelined overlaps PODEM with committing: a pool of per-worker
+// Generators speculatively processes a sliding window of upcoming
+// not-yet-dropped faults while results commit strictly in fault-index
+// order. PODEM for one fault depends only on the fault (never on done), so
+// a speculative run is either committed unchanged or — when its target was
+// dropped by an earlier committed pattern in the meantime — discarded
+// without side effects. Speculation therefore only spends bounded extra
+// work; it cannot change the output.
+func (r *runner) runPipelined(workers int) error {
+	gens := make([]*Generator, workers)
+	for i := range gens {
+		g, err := r.newGenerator()
+		if err != nil {
+			return err
+		}
+		gens[i] = g
 	}
-	return res, nil
+	depth := 4 * workers // speculation window; bounds wasted PODEM runs
+	jobs := make(chan *specJob, depth)
+	var wg sync.WaitGroup
+	for _, g := range gens {
+		wg.Add(1)
+		go func(g *Generator) {
+			defer wg.Done()
+			for j := range jobs {
+				j.c, j.status = g.Generate(r.u.Faults[j.fi])
+				close(j.ready)
+			}
+		}(g)
+	}
+	window := make([]*specJob, 0, depth)
+	next, closed := 0, false
+	// dispatch tops the window up with the next faults not already dropped,
+	// applying the pending-lane check eagerly: a fault the pending patterns
+	// already detect would be dropped at its commit turn anyway (committed
+	// patterns only accumulate between now and then), so dropping it here
+	// yields the same result and skips a wasted speculative PODEM run.
+	// Only the committing goroutine mutates done, so the reads are
+	// race-free; a fault dropped after dispatch is discarded at commit.
+	dispatch := func() {
+		for len(window) < depth && next < len(r.u.Faults) {
+			if !r.done[next] && !r.dropPending(next) {
+				j := &specJob{fi: next, ready: make(chan struct{})}
+				window = append(window, j)
+				jobs <- j
+			}
+			next++
+		}
+		if next == len(r.u.Faults) && !closed {
+			close(jobs)
+			closed = true
+		}
+	}
+	defer func() {
+		// On an early error return: stop feeding, let the workers drain the
+		// queue, and join them so no goroutine outlives the call.
+		if !closed {
+			close(jobs)
+		}
+		for _, j := range window {
+			<-j.ready
+		}
+		wg.Wait()
+	}()
+	for {
+		dispatch()
+		if len(window) == 0 {
+			return nil
+		}
+		j := window[0]
+		window = window[1:]
+		<-j.ready
+		if r.done[j.fi] || r.dropPending(j.fi) {
+			continue // dropped since dispatch: discard the speculation
+		}
+		if err := r.commit(j.fi, j.c, j.status); err != nil {
+			return err
+		}
+	}
+}
+
+// dropPending checks one PODEM candidate against the patterns committed
+// since the last full sweep — exactly the faults the per-pattern loop
+// would have dropped before reaching this candidate.
+func (r *runner) dropPending(fi int) bool {
+	if !r.opt.FaultDrop || r.sims[0].PatternCount() == 0 {
+		return false
+	}
+	if !r.sims[0].DetectAny(r.u.Faults[fi]) {
+		return false
+	}
+	r.done[fi] = true
+	r.res.Detected++
+	return true
+}
+
+// commit applies one PODEM outcome in fault-index order.
+func (r *runner) commit(fi int, c cube.Cube, status Status) error {
+	switch status {
+	case StatusUntestable:
+		r.res.Untestable++
+		r.done[fi] = true
+		return nil
+	case StatusAborted:
+		r.res.Aborted++
+		r.done[fi] = true
+		return nil
+	}
+	r.res.Detected++
+	r.done[fi] = true
+	if err := r.res.Cubes.Add(c); err != nil {
+		return err
+	}
+	if !r.opt.FaultDrop {
+		return nil
+	}
+	// Random-fill the cube's don't-cares. The fill stream is consumed in
+	// commit order, so the patterns are independent of worker count.
+	pat := make([]uint8, c.Width())
+	for i := 0; i < c.Width(); i++ {
+		switch v := c.Get(i); v {
+		case -1:
+			pat[i] = r.src.Bit()
+		default:
+			pat[i] = uint8(v)
+		}
+	}
+	r.res.Patterns = append(r.res.Patterns, pat)
+	if err := r.sims[0].AppendPattern(pat); err != nil {
+		return err
+	}
+	if r.sims[0].PatternCount() == 64 {
+		r.sweep()
+	}
+	return nil
+}
+
+// sweep runs the accumulated full-width batch against every remaining
+// fault, sharded across the simulator pool, and starts a fresh batch. No
+// flush is needed after the last fault: every fault has been committed or
+// dropped by then, so a final sweep could not mark anything new.
+func (r *runner) sweep() {
+	for _, s := range r.sims[1:] {
+		s.AdoptPatterns(r.sims[0])
+	}
+	r.res.Detected += faultsim.DetectAll(r.sims, r.u.Faults, r.done)
+	r.sims[0].ResetPatterns()
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/benchprofile"
 	"repro/internal/litdata"
+	"repro/internal/netlist"
 )
 
 func ciSession() *Session { return NewSession(benchprofile.ScaleCI) }
@@ -186,6 +187,39 @@ func TestSessionCaching(t *testing.T) {
 	ib, _ := s.Index("s9234", 8)
 	if ia != ib {
 		t.Error("index not cached")
+	}
+}
+
+func TestSessionATPGWorkersIdentical(t *testing.T) {
+	core, err := netlist.Random(netlist.RandomConfig{Inputs: 20, Outputs: 8, Gates: 100, MaxFan: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := ciSession()
+	serial.Workers = 1
+	_, want, err := serial.ATPG(core, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Cubes.Len() == 0 {
+		t.Fatal("no cubes generated")
+	}
+	par := ciSession()
+	par.Workers = 3
+	_, got, err := par.ATPG(core, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cubes.Len() != want.Cubes.Len() || got.Coverage != want.Coverage ||
+		len(got.Patterns) != len(want.Patterns) {
+		t.Fatalf("workers=3: %d cubes / %d patterns / cov %v, serial %d / %d / %v",
+			got.Cubes.Len(), len(got.Patterns), got.Coverage,
+			want.Cubes.Len(), len(want.Patterns), want.Coverage)
+	}
+	for i := range want.Cubes.Cubes {
+		if got.Cubes.Cubes[i].String() != want.Cubes.Cubes[i].String() {
+			t.Fatalf("cube %d differs between worker counts", i)
+		}
 	}
 }
 

@@ -13,9 +13,12 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/atpg"
 	"repro/internal/benchprofile"
 	"repro/internal/cube"
 	"repro/internal/encoder"
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
 	"repro/internal/stateskip"
 )
 
@@ -200,6 +203,20 @@ func (s *Session) parallelFor(n int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// ATPG runs the full PODEM + fault-drop flow over a gate-level core with
+// the session's Workers budget forwarded into atpg.Options, so the cube
+// generation pipeline, the drop-loop simulator pool and the experiment
+// drivers all share one knob. cmd/stateskip's `atpg` subcommand goes
+// through here. Results are bit-identical for any Workers value.
+func (s *Session) ATPG(core *netlist.Netlist, fillSeed uint64) (*faultsim.Universe, *atpg.Result, error) {
+	u := faultsim.NewUniverse(core)
+	res, err := atpg.RunAll(u, atpg.Options{FaultDrop: true, FillSeed: fillSeed, Workers: s.Workers})
+	if err != nil {
+		return nil, nil, err
+	}
+	return u, res, nil
 }
 
 // Set returns the (cached) synthetic cube set of one circuit.

@@ -101,7 +101,7 @@ func DetectAll(sims []*Simulator, faults []Fault, detected []bool) int {
 			if detected[fi] {
 				continue
 			}
-			if sims[0].DetectMask(f) != 0 {
+			if sims[0].DetectAny(f) {
 				detected[fi] = true
 				count++
 			}
@@ -119,7 +119,7 @@ func DetectAll(sims []*Simulator, faults []Fault, detected []bool) int {
 				if detected[fi] {
 					continue
 				}
-				if sim.DetectMask(faults[fi]) != 0 {
+				if sim.DetectAny(faults[fi]) {
 					detected[fi] = true
 					counts[w]++
 				}

@@ -92,6 +92,12 @@ func TestEventDrivenMatchesFullEval(t *testing.T) {
 					if got != want {
 						t.Fatalf("batch %d fault %v: event-driven mask %064b, full-eval mask %064b", batch, f, got, want)
 					}
+					// The early-exit boolean must agree with the full mask;
+					// interleaving it here also checks the two share the
+					// simulator's epoch state cleanly.
+					if any := event.DetectAny(f); any != (want != 0) {
+						t.Fatalf("batch %d fault %v: DetectAny %v, mask %064b", batch, f, any, want)
+					}
 				}
 			}
 		})

@@ -169,6 +169,8 @@ type Simulator struct {
 	levels [][]int // per-level worklist buckets, reused across faults
 	buf    []uint64
 	loaded uint64 // mask of valid pattern lanes
+	count  int    // number of loaded pattern lanes
+	dirty  bool   // input lanes changed; fault-free evaluation pending
 }
 
 // NewSimulator prepares a simulator for the universe's netlist.
@@ -190,40 +192,106 @@ func NewSimulator(u *Universe) (*Simulator, error) {
 }
 
 // LoadPatterns bit-slices up to 64 fully specified patterns (each of length
-// len(Inputs)) and runs the fault-free simulation.
+// len(Inputs)) into a fresh batch. The fault-free simulation is deferred to
+// the first use (see AppendPattern).
 func (s *Simulator) LoadPatterns(patterns [][]uint8) error {
 	if len(patterns) == 0 || len(patterns) > 64 {
 		return fmt.Errorf("faultsim: %d patterns (want 1..64)", len(patterns))
 	}
-	n := s.u.Net
-	for gi := range s.good {
-		s.good[gi] = 0
-	}
-	for pi, p := range patterns {
-		if len(p) != len(n.Inputs) {
-			return fmt.Errorf("faultsim: pattern %d has %d bits, want %d", pi, len(p), len(n.Inputs))
-		}
-		for ii, gi := range n.Inputs {
-			if p[ii]&1 != 0 {
-				s.good[gi] |= 1 << uint(pi)
-			}
+	s.ResetPatterns()
+	for _, p := range patterns {
+		if err := s.AppendPattern(p); err != nil {
+			return err
 		}
 	}
-	if len(patterns) == 64 {
-		s.loaded = ^uint64(0)
-	} else {
-		s.loaded = 1<<uint(len(patterns)) - 1
-	}
-	s.evalInto(s.good, -1, Fault{})
 	return nil
+}
+
+// ResetPatterns empties the pattern batch so AppendPattern can build a new
+// one lane by lane.
+func (s *Simulator) ResetPatterns() {
+	clear(s.good)
+	s.loaded = 0
+	s.count = 0
+	s.dirty = false
+}
+
+// AppendPattern adds one fully specified pattern to the next free lane of
+// the current batch (up to 64) without re-packing the lanes already loaded.
+// The fault-free evaluation is deferred until the next DetectMask (or
+// AdoptPatterns), so appending k patterns back to back costs one circuit
+// evaluation, not k — the primitive RunAll's drop loop builds its 64-wide
+// batches with.
+func (s *Simulator) AppendPattern(p []uint8) error {
+	if s.count >= 64 {
+		return fmt.Errorf("faultsim: batch already holds 64 patterns")
+	}
+	n := s.u.Net
+	if len(p) != len(n.Inputs) {
+		return fmt.Errorf("faultsim: pattern %d has %d bits, want %d", s.count, len(p), len(n.Inputs))
+	}
+	bit := uint64(1) << uint(s.count)
+	for ii, gi := range n.Inputs {
+		if p[ii]&1 != 0 {
+			s.good[gi] |= bit
+		}
+	}
+	s.count++
+	s.loaded |= bit
+	s.dirty = true
+	return nil
+}
+
+// LoadPacked installs an already bit-sliced batch: words[i] holds the
+// values of input i across all lanes (bit p = pattern p), count the number
+// of valid lanes. Callers that keep patterns packed skip the per-bit
+// slicing of LoadPatterns entirely; lanes at or above count are masked off.
+func (s *Simulator) LoadPacked(words []uint64, count int) error {
+	n := s.u.Net
+	if len(words) != len(n.Inputs) {
+		return fmt.Errorf("faultsim: %d packed words, want %d", len(words), len(n.Inputs))
+	}
+	if count < 1 || count > 64 {
+		return fmt.Errorf("faultsim: %d patterns (want 1..64)", count)
+	}
+	s.ResetPatterns()
+	mask := laneMask(count)
+	for ii, gi := range n.Inputs {
+		s.good[gi] = words[ii] & mask
+	}
+	s.count = count
+	s.loaded = mask
+	s.dirty = true
+	return nil
+}
+
+// PatternCount returns the number of pattern lanes currently loaded.
+func (s *Simulator) PatternCount() int { return s.count }
+
+func laneMask(count int) uint64 {
+	if count >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(count) - 1
+}
+
+// ensureEval runs the deferred fault-free evaluation of the loaded batch.
+func (s *Simulator) ensureEval() {
+	if s.dirty {
+		s.evalInto(s.good, -1, Fault{})
+		s.dirty = false
+	}
 }
 
 // AdoptPatterns copies the fault-free state of src, which must be a
 // simulator over the same universe with patterns loaded. A worker pool uses
 // it to pay the fault-free simulation once per 64-pattern batch.
 func (s *Simulator) AdoptPatterns(src *Simulator) {
+	src.ensureEval()
 	copy(s.good, src.good)
 	s.loaded = src.loaded
+	s.count = src.count
+	s.dirty = false
 }
 
 // evalInto evaluates the whole circuit into dst. If faultGate ≥ 0, the
@@ -268,9 +336,10 @@ func stuckWord(b uint8) uint64 {
 // reach a primary output are never scheduled.
 func (s *Simulator) DetectMask(f Fault) uint64 {
 	t := s.topo
-	if !t.observable[f.Gate] {
+	if s.loaded == 0 || !t.observable[f.Gate] {
 		return 0
 	}
+	s.ensureEval()
 	s.epoch++
 	if s.epoch == 0 { // uint32 wrap: every stale stamp would look current
 		clear(s.stamp)
@@ -303,6 +372,58 @@ func (s *Simulator) DetectMask(f Fault) uint64 {
 		s.levels[lv] = bucket[:0]
 	}
 	return diff & s.loaded
+}
+
+// DetectAny reports whether any loaded pattern detects the fault —
+// DetectMask != 0 with an early exit: the level-by-level propagation stops
+// at the first level where a primary output shows a (lane-masked)
+// difference, instead of simulating the rest of the fault cone. The drop
+// loops only need the boolean, and detected faults are exactly the ones
+// whose cones propagate furthest.
+func (s *Simulator) DetectAny(f Fault) bool {
+	t := s.topo
+	if s.loaded == 0 || !t.observable[f.Gate] {
+		return false
+	}
+	s.ensureEval()
+	s.epoch++
+	if s.epoch == 0 { // uint32 wrap: every stale stamp would look current
+		clear(s.stamp)
+		clear(s.queued)
+		s.epoch = 1
+	}
+	s.schedule(f.Gate)
+	for lv := t.level[f.Gate]; lv < len(s.levels); lv++ {
+		bucket := s.levels[lv]
+		if len(bucket) == 0 {
+			continue
+		}
+		var diff uint64
+		for _, gi := range bucket {
+			v := s.evalFaulty(gi, f)
+			if v == s.good[gi] {
+				continue // reconverged: nothing propagates
+			}
+			s.bad[gi] = v
+			s.stamp[gi] = s.epoch
+			if t.isOutput[gi] {
+				diff |= (s.good[gi] ^ v) & s.loaded
+			}
+			for _, fo := range t.fanout[gi] {
+				if t.observable[fo] {
+					s.schedule(fo)
+				}
+			}
+		}
+		s.levels[lv] = bucket[:0]
+		if diff != 0 {
+			for l := lv + 1; l < len(s.levels); l++ {
+				s.levels[l] = s.levels[l][:0]
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // schedule queues a gate for evaluation in the current epoch. Fan-out gates
@@ -348,6 +469,7 @@ func (s *Simulator) evalFaulty(gi int, f Fault) uint64 {
 // kept as the reference oracle for differential tests of the event-driven
 // path.
 func (s *Simulator) detectMaskFull(f Fault) uint64 {
+	s.ensureEval()
 	s.evalInto(s.bad, f.Gate, f)
 	var mask uint64
 	for _, o := range s.u.Net.Outputs {

@@ -128,6 +128,92 @@ func TestCoverageExhaustivePatterns(t *testing.T) {
 	}
 }
 
+// TestLoadPackedMatchesLoadPatterns asserts the three batch-building paths
+// are interchangeable: bit-sliced LoadPatterns, incremental AppendPattern
+// (including appends split around DetectMask calls, which force the lazy
+// fault-free evaluation mid-batch), and pre-packed LoadPacked must yield
+// identical detect masks for every fault.
+func TestLoadPackedMatchesLoadPatterns(t *testing.T) {
+	nl, err := netlist.Random(netlist.RandomConfig{Inputs: 16, Outputs: 5, Gates: 80, MaxFan: 3, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewUniverse(nl)
+	for _, count := range []int{1, 3, 64} {
+		patterns := randomPatterns(prng.New(uint64(count)), count, 16)
+		ref, _ := NewSimulator(u)
+		if err := ref.LoadPatterns(patterns); err != nil {
+			t.Fatal(err)
+		}
+		packed := make([]uint64, 16)
+		for pi, p := range patterns {
+			for ii, b := range p {
+				if b != 0 {
+					packed[ii] |= 1 << uint(pi)
+				}
+			}
+		}
+		viaPacked, _ := NewSimulator(u)
+		// Lanes at or above count must be masked off even if set.
+		if count < 64 {
+			packed[0] |= 1 << uint(count)
+		}
+		if err := viaPacked.LoadPacked(packed, count); err != nil {
+			t.Fatal(err)
+		}
+		viaAppend, _ := NewSimulator(u)
+		viaAppend.ResetPatterns()
+		for pi, p := range patterns {
+			if err := viaAppend.AppendPattern(p); err != nil {
+				t.Fatal(err)
+			}
+			if pi == 0 {
+				viaAppend.DetectMask(u.Faults[0]) // force a mid-batch evaluation
+			}
+		}
+		if got := viaPacked.PatternCount(); got != count {
+			t.Fatalf("count=%d: LoadPacked PatternCount %d", count, got)
+		}
+		if got := viaAppend.PatternCount(); got != count {
+			t.Fatalf("count=%d: AppendPattern PatternCount %d", count, got)
+		}
+		for _, f := range u.Faults {
+			want := ref.DetectMask(f)
+			if got := viaPacked.DetectMask(f); got != want {
+				t.Fatalf("count=%d fault %v: LoadPacked mask %064b, want %064b", count, f, got, want)
+			}
+			if got := viaAppend.DetectMask(f); got != want {
+				t.Fatalf("count=%d fault %v: AppendPattern mask %064b, want %064b", count, f, got, want)
+			}
+		}
+	}
+}
+
+func TestAppendAndPackedValidation(t *testing.T) {
+	n := andOr(t)
+	sim, _ := NewSimulator(NewUniverse(n))
+	if err := sim.AppendPattern([]uint8{1, 0}); err == nil {
+		t.Error("short pattern accepted by AppendPattern")
+	}
+	for i := 0; i < 64; i++ {
+		if err := sim.AppendPattern([]uint8{1, 0, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sim.AppendPattern([]uint8{1, 0, 1}); err == nil {
+		t.Error("65th pattern accepted")
+	}
+	if err := sim.LoadPacked(make([]uint64, 2), 4); err == nil {
+		t.Error("wrong word count accepted by LoadPacked")
+	}
+	if err := sim.LoadPacked(make([]uint64, 3), 0); err == nil {
+		t.Error("zero-lane LoadPacked accepted")
+	}
+	if err := sim.LoadPacked(make([]uint64, 3), 65); err == nil {
+		t.Error("65-lane LoadPacked accepted")
+	}
+}
+
 func TestLoadPatternsValidation(t *testing.T) {
 	n := andOr(t)
 	sim, _ := NewSimulator(NewUniverse(n))
@@ -157,6 +243,41 @@ func BenchmarkFaultSim64Patterns(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sim.DetectMask(u.Faults[i%len(u.Faults)])
 	}
+}
+
+// BenchmarkDetectAllBatchWidth isolates the drop-loop lane-waste fix: the
+// same 64 patterns swept over the fault universe as one full-width batch
+// versus 64 single-pattern sweeps (the shape of the seed's drop loop,
+// which left 63 of the simulator's word lanes empty on every DetectAll).
+func BenchmarkDetectAllBatchWidth(b *testing.B) {
+	nl, _ := netlist.Random(netlist.RandomConfig{Inputs: 96, Outputs: 32, Gates: 4000, MaxFan: 3, Seed: 2008})
+	u := NewUniverse(nl)
+	sim, err := NewSimulator(u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	patterns := randomPatterns(prng.New(1), 64, 96)
+	sims := []*Simulator{sim}
+	b.Run("batch=64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			detected := make([]bool, len(u.Faults))
+			if err := sim.LoadPatterns(patterns); err != nil {
+				b.Fatal(err)
+			}
+			DetectAll(sims, u.Faults, detected)
+		}
+	})
+	b.Run("batch=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			detected := make([]bool, len(u.Faults))
+			for _, p := range patterns {
+				if err := sim.LoadPatterns([][]uint8{p}); err != nil {
+					b.Fatal(err)
+				}
+				DetectAll(sims, u.Faults, detected)
+			}
+		}
+	})
 }
 
 // BenchmarkDetectMaskEngine compares the event-driven DetectMask against
