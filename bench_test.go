@@ -191,12 +191,15 @@ func BenchmarkCoverage(b *testing.B) {
 	}
 }
 
-// BenchmarkRunAll measures the full ATPG pipeline (speculative PODEM +
-// commit-ordered X-fill + 64-wide batched fault dropping) end to end,
-// serial versus pipelined across every CPU. Cubes, patterns and counters
-// are bit-identical for any worker count (asserted by atpg's differential
-// tests under -race); only the wall clock differs. At paper scale the core
-// grows to the size of the paper's larger ISCAS'89-class circuits.
+// BenchmarkRunAll measures the full ATPG pipeline (event-driven PODEM
+// implication + speculative generation + commit-ordered X-fill + 64-wide
+// batched fault dropping) end to end, serial versus pipelined across every
+// CPU. The shared atpg.Tables are built once per RunAll; per-worker
+// Generators are cheap scratch. Cubes, patterns and counters are
+// bit-identical for any worker count and to the kept full-resimulation
+// reference engine (both asserted by atpg's differential tests under
+// -race); only the wall clock differs. At paper scale the core grows to
+// the size of the paper's larger ISCAS'89-class circuits.
 func BenchmarkRunAll(b *testing.B) {
 	cfg := netlist.RandomConfig{Inputs: 400, Outputs: 160, Gates: 800, MaxFan: 3, Seed: 2008}
 	if benchScale() == benchprofile.ScalePaper {
@@ -222,6 +225,7 @@ func BenchmarkRunAll(b *testing.B) {
 			}
 			b.ReportMetric(res.Coverage*100, "coverage-%")
 			b.ReportMetric(float64(res.Cubes.Len()), "cubes")
+			b.ReportMetric(float64(res.Aborted), "aborted")
 			b.ReportMetric(float64(len(u.Faults)), "faults")
 		})
 	}

@@ -6,7 +6,7 @@
 //
 //	stateskip [-scale=ci|paper] [-workers=N] table1|table2|table3|table4|fig4|hw|soc|all
 //	stateskip [-scale=...] gen -circuit s13207 -o cubes.txt
-//	stateskip [-workers=N] atpg [-bench core.bench] -o cubes.txt
+//	stateskip [-workers=N] atpg [-bench core.bench] [-backtrack N] -o cubes.txt
 //	stateskip encode -circuit s13207 [-scale=...] -L 200
 //	stateskip verilog -n 24 -k 10 -o lfsr.v
 //
@@ -29,6 +29,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/atpg"
 	"repro/internal/benchprofile"
 	"repro/internal/encoder"
 	"repro/internal/experiments"
@@ -290,6 +291,7 @@ func runATPG(scale benchprofile.Scale, workers int, args []string) error {
 	gates := fs.Int("gates", 260, "gates of the generated core")
 	outputs := fs.Int("outputs", 48, "outputs of the generated core")
 	seed := fs.Uint64("seed", 2008, "generation seed")
+	backtrack := fs.Int("backtrack", 0, "PODEM backtrack limit (0 = generator default)")
 	out := fs.String("o", "", "cube output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -322,7 +324,9 @@ func runATPG(scale benchprofile.Scale, workers int, args []string) error {
 		st.Inputs, st.Outputs, st.Gates, st.Levels)
 	s := experiments.NewSession(scale)
 	s.Workers = workers
-	u, res, err := s.ATPG(core, *seed)
+	u, res, err := s.ATPGOpts(core, atpg.Options{
+		FaultDrop: true, FillSeed: *seed, BacktrackLimit: *backtrack,
+	})
 	if err != nil {
 		return err
 	}

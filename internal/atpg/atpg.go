@@ -11,11 +11,20 @@
 // decisions made at primary inputs only, found by backtracing objectives
 // through easiest-to-control paths, and undone on conflict with
 // chronological backtracking under a backtrack limit.
+//
+// The engine is split in two (mirroring faultsim's Universe/Simulator):
+// Tables holds the immutable per-netlist structures, built once and shared;
+// Generator is cheap per-worker scratch. Implication is event-driven: a PI
+// assignment propagates 3-valued good/faulty values only through the
+// changed cone via a levelized event queue, every change is recorded on a
+// trail so backtracking undoes exactly the changed gates, and the
+// D-frontier is maintained incrementally from the same change events. The
+// old full-resimulation engine is kept in reference_test.go as the oracle
+// the differential and fuzz tests compare states and results against.
 package atpg
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/cube"
@@ -32,134 +41,89 @@ const (
 	vX uint8 = 2
 )
 
-// Generator holds per-circuit state reused across faults.
+// trailEntry records one gate's pre-change values so backtracking can
+// restore them in O(changed cone) instead of re-simulating the circuit.
+type trailEntry struct {
+	gate      int32
+	good, bad uint8
+}
+
+// decision is one PODEM decision-stack frame. mark is the trail length
+// before the decision's implication, i.e. the undo point.
+type decision struct {
+	input   int // index into net.Inputs
+	value   uint8
+	flipped bool
+	mark    int
+}
+
+// Generator holds the per-worker scratch of the PODEM engine. Build one
+// per goroutine from shared Tables (Tables.NewGenerator); the convenience
+// constructor New builds private tables for one-off use.
 type Generator struct {
-	net   *netlist.Netlist
-	order []int
-	level []int
-	// controllability: rough SCOAP-like effort to set a signal to 0/1,
-	// used by backtrace to pick the easiest input.
-	cc0, cc1 []int
+	t *Tables
 
 	good, bad []uint8 // 3-valued good/faulty circuit values
-	fanout    [][]int
-	isOutput  []bool
-	inputIdx  []int // gate index → position in net.Inputs, -1 otherwise
 
-	// Per-Generate scratch, reused across faults so the PODEM inner loops
-	// allocate nothing: the D-frontier worklist, epoch-stamped visit marks
-	// for the X-path DFS, and the fault site's output cone (the only gates
-	// the D-frontier scan must visit).
+	fault faultsim.Fault // fault of the Generate in progress
+
+	// Levelized event queue of the implication wave in progress: per-level
+	// buckets of gates scheduled for re-evaluation, stamped by wave so a
+	// gate is queued at most once per wave.
+	levels [][]int
+	queued []uint32
+	minLv  int
+
+	// trail records every value change since begin; decisions store marks
+	// into it.
+	trail []trailEntry
+
+	// Fault output cone (unordered) — the only gates where good and faulty
+	// values can differ, hence the only candidates for the D-frontier and
+	// the only gates whose faulty value needs evaluating at all.
+	cone     []int
+	coneMark []bool
+
+	// Incremental D-frontier: inFrontier is the membership truth,
+	// frontier/inList an insert-only list with lazy deletion (compacted by
+	// dFrontier), dirty the cone gates whose membership may have changed in
+	// the current wave.
+	inFrontier []bool
+	inList     []bool
+	frontier   []int
+	dirty      []int
+	dirtyStamp []uint32
+
+	wave uint32 // shared epoch for queued and dirtyStamp
+
+	// Per-objective scratch: the sorted frontier snapshot and the
+	// epoch-stamped visit marks of the X-path DFS.
 	dfBuf     []int
 	dfStack   []int
 	seen      []uint32
 	seenEpoch uint32
-	orderPos  []int // gate index → position in order
-	cone      []int // fault cone, sorted in topological order
-	coneMark  []bool
+
+	gbuf, bbuf []uint8
+	decisions  []decision
+
+	// implyHook, when non-nil, runs after every completed implication
+	// (begin and each assign). The differential tests install it to compare
+	// the incremental good/bad state against a full re-simulation.
+	implyHook func()
 
 	// Limits.
 	BacktrackLimit int
 }
 
-// New prepares a generator for a circuit.
+// New prepares a generator with private tables for a circuit. Callers that
+// run many generators over one netlist should build Tables once and use
+// Tables.NewGenerator instead.
 func New(n *netlist.Netlist) (*Generator, error) {
-	order, err := n.Levelize()
+	t, err := NewTables(n)
 	if err != nil {
 		return nil, err
 	}
-	g := &Generator{
-		net:            n,
-		order:          order,
-		good:           make([]uint8, n.NumGates()),
-		bad:            make([]uint8, n.NumGates()),
-		level:          make([]int, n.NumGates()),
-		fanout:         make([][]int, n.NumGates()),
-		isOutput:       make([]bool, n.NumGates()),
-		inputIdx:       make([]int, n.NumGates()),
-		seen:           make([]uint32, n.NumGates()),
-		orderPos:       make([]int, n.NumGates()),
-		coneMark:       make([]bool, n.NumGates()),
-		BacktrackLimit: 1000,
-	}
-	for pos, gi := range order {
-		g.orderPos[gi] = pos
-	}
-	for gi, gate := range n.Gates {
-		for _, f := range gate.Fanin {
-			g.fanout[f] = append(g.fanout[f], gi)
-			if g.level[f]+1 > g.level[gi] {
-				g.level[gi] = g.level[f] + 1
-			}
-		}
-	}
-	for _, o := range n.Outputs {
-		g.isOutput[o] = true
-	}
-	for gi := range g.inputIdx {
-		g.inputIdx[gi] = -1
-	}
-	for ii, gi := range n.Inputs {
-		g.inputIdx[gi] = ii
-	}
-	g.computeControllability()
-	return g, nil
-}
-
-// computeControllability assigns SCOAP-flavoured 0/1 controllability
-// weights: inputs cost 1; a gate's cost follows from the cheapest way to
-// produce each output value.
-func (g *Generator) computeControllability() {
-	n := g.net
-	g.cc0 = make([]int, n.NumGates())
-	g.cc1 = make([]int, n.NumGates())
-	const inf = 1 << 28
-	min := func(a, b int) int {
-		if a < b {
-			return a
-		}
-		return b
-	}
-	for _, gi := range g.order {
-		gate := &n.Gates[gi]
-		switch gate.Type {
-		case netlist.Input:
-			g.cc0[gi], g.cc1[gi] = 1, 1
-		case netlist.Buf:
-			g.cc0[gi], g.cc1[gi] = g.cc0[gate.Fanin[0]]+1, g.cc1[gate.Fanin[0]]+1
-		case netlist.Not:
-			g.cc0[gi], g.cc1[gi] = g.cc1[gate.Fanin[0]]+1, g.cc0[gate.Fanin[0]]+1
-		case netlist.And, netlist.Nand:
-			all1, any0 := 1, inf
-			for _, f := range gate.Fanin {
-				all1 += g.cc1[f]
-				any0 = min(any0, g.cc0[f])
-			}
-			c1, c0 := all1, any0+1
-			if gate.Type == netlist.Nand {
-				c0, c1 = c1, c0
-			}
-			g.cc0[gi], g.cc1[gi] = c0, c1
-		case netlist.Or, netlist.Nor:
-			all0, any1 := 1, inf
-			for _, f := range gate.Fanin {
-				all0 += g.cc0[f]
-				any1 = min(any1, g.cc1[f])
-			}
-			c0, c1 := all0, any1+1
-			if gate.Type == netlist.Nor {
-				c0, c1 = c1, c0
-			}
-			g.cc0[gi], g.cc1[gi] = c0, c1
-		case netlist.Xor, netlist.Xnor:
-			// Roughly: parity costs the sum of the cheaper sides.
-			sum := 1
-			for _, f := range gate.Fanin {
-				sum += min(g.cc0[f], g.cc1[f])
-			}
-			g.cc0[gi], g.cc1[gi] = sum, sum
-		}
-	}
+	return t.NewGenerator(), nil
 }
 
 // Status classifies the outcome of one PODEM run.
@@ -191,36 +155,23 @@ func (s Status) String() string {
 // Generate runs PODEM for one fault and returns the test cube over the
 // circuit's inputs (X = unassigned) together with the run status.
 func (g *Generator) Generate(f faultsim.Fault) (cube.Cube, Status) {
-	n := g.net
-	for i := range g.good {
-		g.good[i] = vX
-		g.bad[i] = vX
-	}
-	type decision struct {
-		input   int // index into n.Inputs
-		value   uint8
-		flipped bool
-	}
-	var stack []decision
+	n := g.t.net
+	g.begin(f)
+	stack := g.decisions[:0]
 	backtracks := 0
 
-	g.computeCone(f)
-	imply := func() {
-		g.simulate(f)
-	}
-	imply()
-
 	for {
-		if g.detected(f) {
+		if g.detected() {
 			c := cube.New(len(n.Inputs))
 			for ii, gi := range n.Inputs {
 				if g.good[gi] != vX {
 					c.Set(ii, g.good[gi])
 				}
 			}
+			g.decisions = stack
 			return c, StatusDetected
 		}
-		objGate, objVal, feasible := g.objective(f)
+		objGate, objVal, feasible := g.objective()
 		var piIdx int
 		var piVal uint8
 		backtraceOK := false
@@ -228,62 +179,303 @@ func (g *Generator) Generate(f faultsim.Fault) (cube.Cube, Status) {
 			piIdx, piVal, backtraceOK = g.backtrace(objGate, objVal)
 		}
 		if !feasible || !backtraceOK {
-			// Conflict or no X-path: chronological backtracking.
+			// Conflict or no X-path: chronological backtracking. The trail
+			// restores exactly the gates each abandoned decision changed.
 			for {
 				if len(stack) == 0 {
+					g.decisions = stack
 					return cube.Cube{}, StatusUntestable
 				}
 				top := &stack[len(stack)-1]
 				if !top.flipped {
 					top.flipped = true
 					top.value ^= 1
-					g.good[g.net.Inputs[top.input]] = top.value
+					g.undoTo(top.mark)
+					g.assign(top.input, top.value)
 					backtracks++
 					if backtracks > g.BacktrackLimit {
+						g.decisions = stack
 						return cube.Cube{}, StatusAborted
 					}
 					break
 				}
-				g.good[g.net.Inputs[top.input]] = vX
+				g.undoTo(top.mark)
 				stack = stack[:len(stack)-1]
 			}
-			imply()
 			continue
 		}
-		gi := n.Inputs[piIdx]
-		stack = append(stack, decision{input: piIdx, value: piVal})
-		g.good[gi] = piVal
-		imply()
+		stack = append(stack, decision{input: piIdx, value: piVal, mark: len(g.trail)})
+		g.assign(piIdx, piVal)
 	}
 }
 
-// simulate performs 3-valued good+faulty simulation with the fault
-// injected. Primary-input good values are the current assignments; all
-// other values are derived.
-func (g *Generator) simulate(f faultsim.Fault) {
-	n := g.net
-	var gbuf, bbuf []uint8
-	for _, gi := range g.order {
-		gate := &n.Gates[gi]
-		if gate.Type != netlist.Input {
-			gbuf, bbuf = gbuf[:0], bbuf[:0]
-			for pin, fi := range gate.Fanin {
-				gv, bv := g.good[fi], g.bad[fi]
-				if f.Gate == gi && f.Pin == pin {
-					bv = f.Stuck
-				}
-				gbuf = append(gbuf, gv)
-				bbuf = append(bbuf, bv)
-			}
-			g.good[gi] = eval3(gate.Type, gbuf)
-			g.bad[gi] = eval3(gate.Type, bbuf)
-		} else if f.Gate != gi || f.Pin != -1 {
-			g.bad[gi] = g.good[gi]
+// begin resets the engine for one fault: all values X, the fault injected,
+// and its constant effects propagated through the fault cone.
+func (g *Generator) begin(f faultsim.Fault) {
+	g.fault = f
+	copy(g.good, g.t.xfill)
+	copy(g.bad, g.t.xfill)
+	for _, gi := range g.frontier {
+		g.inFrontier[gi] = false
+		g.inList[gi] = false
+	}
+	g.frontier = g.frontier[:0]
+	g.dirty = g.dirty[:0]
+	g.trail = g.trail[:0]
+	g.computeCone(f)
+	g.newWave()
+	if f.Pin == -1 {
+		// The site's faulty value is the stuck constant from the start —
+		// part of the base state, below every undo mark.
+		g.bad[f.Gate] = f.Stuck
+		g.markDirty(f.Gate)
+		for _, fo := range g.t.fanout[f.Gate] {
+			g.markDirty(fo)
+			g.schedule(fo)
 		}
-		if f.Gate == gi && f.Pin == -1 {
-			g.bad[gi] = f.Stuck
+	} else {
+		// An input-pin fault only changes how f.Gate evaluates.
+		g.markDirty(f.Gate)
+		g.schedule(f.Gate)
+	}
+	g.run()
+}
+
+// newWave opens a fresh event epoch for the queue and dirty stamps.
+func (g *Generator) newWave() {
+	g.wave++
+	if g.wave == 0 { // uint32 wrap: every stale stamp would look current
+		clear(g.queued)
+		clear(g.dirtyStamp)
+		g.wave = 1
+	}
+	g.minLv = len(g.levels)
+}
+
+// schedule queues a gate for re-evaluation in the current wave. Fan-outs
+// are strictly deeper than their drivers, so buckets at or below the
+// cursor are never appended to while run drains the queue.
+func (g *Generator) schedule(gi int) {
+	if g.queued[gi] == g.wave {
+		return
+	}
+	g.queued[gi] = g.wave
+	lv := g.t.level[gi]
+	g.levels[lv] = append(g.levels[lv], gi)
+	if lv < g.minLv {
+		g.minLv = lv
+	}
+}
+
+// computeCone collects the fault site's output cone — unordered; only
+// membership matters here, for confining faulty-value evaluation and
+// frontier maintenance.
+func (g *Generator) computeCone(f faultsim.Fault) {
+	for _, gi := range g.cone {
+		g.coneMark[gi] = false
+	}
+	g.cone = g.cone[:0]
+	stack := g.dfStack[:0]
+	g.coneMark[f.Gate] = true
+	g.cone = append(g.cone, f.Gate)
+	stack = append(stack, f.Gate)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, fo := range g.t.fanout[cur] {
+			if !g.coneMark[fo] {
+				g.coneMark[fo] = true
+				g.cone = append(g.cone, fo)
+				stack = append(stack, fo)
+			}
 		}
 	}
+	g.dfStack = stack[:0]
+}
+
+// markDirty queues a gate for a D-frontier membership re-check. Gates
+// outside the fault cone can never hold a good/faulty difference on a
+// fan-in, so they are never candidates and are skipped outright.
+func (g *Generator) markDirty(gi int) {
+	if !g.coneMark[gi] || g.dirtyStamp[gi] == g.wave {
+		return
+	}
+	g.dirtyStamp[gi] = g.wave
+	g.dirty = append(g.dirty, gi)
+}
+
+// setValue applies one gate's new 3-valued pair, records the old pair on
+// the trail, and wakes the gate's fan-out cone (events + frontier checks).
+func (g *Generator) setValue(gi int, ng, nb uint8) {
+	g.trail = append(g.trail, trailEntry{gate: int32(gi), good: g.good[gi], bad: g.bad[gi]})
+	g.good[gi] = ng
+	g.bad[gi] = nb
+	g.markDirty(gi)
+	for _, fo := range g.t.fanout[gi] {
+		g.markDirty(fo)
+		g.schedule(fo)
+	}
+}
+
+// assign sets one primary input and propagates the consequences through
+// the changed cone.
+func (g *Generator) assign(piIdx int, val uint8) {
+	gi := g.t.net.Inputs[piIdx]
+	g.newWave()
+	nb := val
+	if g.fault.Gate == gi && g.fault.Pin == -1 {
+		nb = g.bad[gi] // the fault site's faulty value stays stuck
+	}
+	g.setValue(gi, val, nb)
+	g.run()
+}
+
+// run drains the event queue level by level. Each gate is re-evaluated at
+// most once per wave, with final fan-in values (all drivers are at
+// strictly lower levels), so the resulting state is exactly the full
+// 3-valued re-simulation of the circuit.
+func (g *Generator) run() {
+	for lv := g.minLv; lv < len(g.levels); lv++ {
+		bucket := g.levels[lv]
+		if len(bucket) == 0 {
+			continue
+		}
+		for _, gi := range bucket {
+			g.evalGate(gi)
+		}
+		g.levels[lv] = bucket[:0]
+	}
+	g.flushFrontier()
+	if g.implyHook != nil {
+		g.implyHook()
+	}
+}
+
+// evalGate recomputes one gate's good/faulty pair with the fault injected
+// and emits a change event if the pair moved. Outside the fault cone the
+// faulty circuit is indistinguishable from the good one (every fan-in has
+// bad == good), so only one evaluation is needed there.
+func (g *Generator) evalGate(gi int) {
+	gate := &g.t.net.Gates[gi]
+	f := g.fault
+	if !g.coneMark[gi] {
+		g.gbuf = g.gbuf[:0]
+		for _, fi := range gate.Fanin {
+			g.gbuf = append(g.gbuf, g.good[fi])
+		}
+		ng := eval3(gate.Type, g.gbuf)
+		if ng == g.good[gi] {
+			return // reconverged: nothing propagates
+		}
+		g.setValue(gi, ng, ng)
+		return
+	}
+	g.gbuf, g.bbuf = g.gbuf[:0], g.bbuf[:0]
+	for pin, fi := range gate.Fanin {
+		gv, bv := g.good[fi], g.bad[fi]
+		if f.Gate == gi && f.Pin == pin {
+			bv = f.Stuck
+		}
+		g.gbuf = append(g.gbuf, gv)
+		g.bbuf = append(g.bbuf, bv)
+	}
+	ng := eval3(gate.Type, g.gbuf)
+	nb := eval3(gate.Type, g.bbuf)
+	if f.Gate == gi && f.Pin == -1 {
+		nb = f.Stuck
+	}
+	if ng == g.good[gi] && nb == g.bad[gi] {
+		return // reconverged: nothing propagates
+	}
+	g.setValue(gi, ng, nb)
+}
+
+// undoTo rewinds the trail to a decision mark, restoring exactly the gates
+// changed since — O(changed cone), no re-simulation — and re-checks the
+// frontier membership of everything touched.
+func (g *Generator) undoTo(mark int) {
+	g.newWave()
+	for len(g.trail) > mark {
+		e := g.trail[len(g.trail)-1]
+		g.trail = g.trail[:len(g.trail)-1]
+		gi := int(e.gate)
+		g.good[gi] = e.good
+		g.bad[gi] = e.bad
+		g.markDirty(gi)
+		for _, fo := range g.t.fanout[gi] {
+			g.markDirty(fo)
+		}
+	}
+	g.flushFrontier()
+}
+
+// flushFrontier re-evaluates D-frontier membership for every gate whose
+// own or fan-in values changed this wave. Insertions append to the
+// frontier list; deletions just clear the truth bit and are compacted
+// lazily by dFrontier.
+func (g *Generator) flushFrontier() {
+	for _, d := range g.dirty {
+		if g.isFrontier(d) {
+			if !g.inFrontier[d] {
+				g.inFrontier[d] = true
+				if !g.inList[d] {
+					g.inList[d] = true
+					g.frontier = append(g.frontier, d)
+				}
+			}
+		} else {
+			g.inFrontier[d] = false
+		}
+	}
+	g.dirty = g.dirty[:0]
+}
+
+// isFrontier reports whether a gate is on the D-frontier: output still X
+// (good or faulty) with a definite good/faulty difference on some input.
+func (g *Generator) isFrontier(gi int) bool {
+	gate := &g.t.net.Gates[gi]
+	if gate.Type == netlist.Input {
+		return false
+	}
+	if g.good[gi] != vX && g.bad[gi] != vX {
+		return false
+	}
+	for pin, fi := range gate.Fanin {
+		gv, bv := g.good[fi], g.bad[fi]
+		if g.fault.Gate == gi && g.fault.Pin == pin {
+			bv = g.fault.Stuck
+		}
+		if gv != vX && bv != vX && gv != bv {
+			return true
+		}
+	}
+	return false
+}
+
+// dFrontier returns the current D-frontier sorted in topological order —
+// the same order the old full-scan produced, so objective's tie-breaks are
+// unchanged. The returned slice is scratch, valid until the next call.
+func (g *Generator) dFrontier() []int {
+	live := g.frontier[:0]
+	for _, gi := range g.frontier {
+		if g.inFrontier[gi] {
+			live = append(live, gi)
+		} else {
+			g.inList[gi] = false
+		}
+	}
+	g.frontier = live
+	out := append(g.dfBuf[:0], live...)
+	// Insertion sort by topological position: the frontier is small and
+	// nearly sorted, and this keeps objective allocation-free.
+	pos := g.t.orderPos
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && pos[out[j]] < pos[out[j-1]]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	g.dfBuf = out
+	return out
 }
 
 // eval3 is 3-valued gate evaluation.
@@ -345,8 +537,8 @@ func eval3(t netlist.GateType, in []uint8) uint8 {
 
 // detected reports whether some primary output shows a definite
 // good/faulty difference.
-func (g *Generator) detected(f faultsim.Fault) bool {
-	for _, o := range g.net.Outputs {
+func (g *Generator) detected() bool {
+	for _, o := range g.t.net.Outputs {
 		gv, bv := g.good[o], g.bad[o]
 		if gv != vX && bv != vX && gv != bv {
 			return true
@@ -357,12 +549,13 @@ func (g *Generator) detected(f faultsim.Fault) bool {
 
 // objective returns the next signal/value to justify: fault activation
 // first, then D-frontier advancement. feasible=false signals a dead end.
-func (g *Generator) objective(f faultsim.Fault) (gate int, val uint8, feasible bool) {
+func (g *Generator) objective() (gate int, val uint8, feasible bool) {
+	f := g.fault
 	// Activation: the fault site's good value must be the complement of
 	// the stuck value.
 	site := f.Gate
 	if f.Pin >= 0 {
-		site = g.net.Gates[f.Gate].Fanin[f.Pin]
+		site = g.t.net.Gates[f.Gate].Fanin[f.Pin]
 	}
 	switch g.good[site] {
 	case vX:
@@ -377,18 +570,18 @@ func (g *Generator) objective(f faultsim.Fault) (gate int, val uint8, feasible b
 	// classic X-path check that makes PODEM terminate quickly on blocked
 	// faults).
 	best := -1
-	for _, gi := range g.dFrontier(f) {
+	for _, gi := range g.dFrontier() {
 		if !g.xPathToOutput(gi) {
 			continue
 		}
-		if best < 0 || g.level[gi] > g.level[best] {
+		if best < 0 || g.t.level[gi] > g.t.level[best] {
 			best = gi
 		}
 	}
 	if best < 0 {
 		return 0, 0, false
 	}
-	gate2 := &g.net.Gates[best]
+	gate2 := &g.t.net.Gates[best]
 	nc, ok := nonControlling(gate2.Type)
 	if !ok {
 		// XOR-ish gate: any X input can take either value; pick 0.
@@ -402,68 +595,11 @@ func (g *Generator) objective(f faultsim.Fault) (gate int, val uint8, feasible b
 	return 0, 0, false
 }
 
-// computeCone collects the gates reachable from the fault site — the only
-// gates a good/faulty difference can ever appear on — sorted in
-// topological order so the D-frontier scan visits them exactly as a scan
-// of the full order would.
-func (g *Generator) computeCone(f faultsim.Fault) {
-	for _, gi := range g.cone {
-		g.coneMark[gi] = false
-	}
-	g.cone = g.cone[:0]
-	stack := g.dfStack[:0]
-	g.coneMark[f.Gate] = true
-	g.cone = append(g.cone, f.Gate)
-	stack = append(stack, f.Gate)
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		for _, fo := range g.fanout[cur] {
-			if !g.coneMark[fo] {
-				g.coneMark[fo] = true
-				g.cone = append(g.cone, fo)
-				stack = append(stack, fo)
-			}
-		}
-	}
-	g.dfStack = stack[:0]
-	sort.Slice(g.cone, func(i, j int) bool { return g.orderPos[g.cone[i]] < g.orderPos[g.cone[j]] })
-}
-
-// dFrontier lists gates whose output is still X (good or faulty) but which
-// have a definite good/faulty difference on some input. The returned slice
-// is scratch, valid until the next call. Only the fault cone is scanned: a
-// difference cannot exist anywhere else.
-func (g *Generator) dFrontier(f faultsim.Fault) []int {
-	out := g.dfBuf[:0]
-	for _, gi := range g.cone {
-		gate := &g.net.Gates[gi]
-		if gate.Type == netlist.Input {
-			continue
-		}
-		if g.good[gi] != vX && g.bad[gi] != vX {
-			continue
-		}
-		for pin, fi := range gate.Fanin {
-			gv, bv := g.good[fi], g.bad[fi]
-			if f.Gate == gi && f.Pin == pin {
-				bv = f.Stuck
-			}
-			if gv != vX && bv != vX && gv != bv {
-				out = append(out, gi)
-				break
-			}
-		}
-	}
-	g.dfBuf = out
-	return out
-}
-
 // xPathToOutput reports whether a path of X-valued gates leads from gate
 // gi to some primary output (gi itself may hold a definite faulty value —
 // only the forward path must still be open).
 func (g *Generator) xPathToOutput(gi int) bool {
-	if g.isOutput[gi] {
+	if g.t.isOutput[gi] {
 		return true
 	}
 	g.seenEpoch++
@@ -476,7 +612,7 @@ func (g *Generator) xPathToOutput(gi int) bool {
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, fo := range g.fanout[cur] {
+		for _, fo := range g.t.fanout[cur] {
 			if g.seen[fo] == g.seenEpoch {
 				continue
 			}
@@ -484,7 +620,7 @@ func (g *Generator) xPathToOutput(gi int) bool {
 			if g.good[fo] != vX && g.bad[fo] != vX {
 				continue // definite value: propagation blocked here
 			}
-			if g.isOutput[fo] {
+			if g.t.isOutput[fo] {
 				g.dfStack = stack
 				return true
 			}
@@ -511,7 +647,7 @@ func nonControlling(t netlist.GateType) (uint8, bool) {
 // primary input, inverting the target value through inverting gates and
 // choosing the easiest-to-control fan-in by the SCOAP weights.
 func (g *Generator) backtrace(gate int, val uint8) (piIdx int, piVal uint8, ok bool) {
-	n := g.net
+	n := g.t.net
 	cur, want := gate, val
 	for steps := 0; steps < n.NumGates()+1; steps++ {
 		gt := &n.Gates[cur]
@@ -519,7 +655,7 @@ func (g *Generator) backtrace(gate int, val uint8) (piIdx int, piVal uint8, ok b
 			if g.good[cur] != vX {
 				return 0, 0, false // already assigned; objective unreachable
 			}
-			if ii := g.inputIdx[cur]; ii >= 0 {
+			if ii := g.t.inputIdx[cur]; ii >= 0 {
 				return ii, want, true
 			}
 			return 0, 0, false
@@ -536,9 +672,9 @@ func (g *Generator) backtrace(gate int, val uint8) (piIdx int, piVal uint8, ok b
 			if g.good[fi] != vX {
 				continue
 			}
-			cost := g.cc0[fi]
+			cost := g.t.cc0[fi]
 			if nextWant == v1 {
-				cost = g.cc1[fi]
+				cost = g.t.cc1[fi]
 			}
 			if cost < bestCost {
 				bestCost = cost
@@ -588,6 +724,11 @@ type Options struct {
 	// the emitted cubes, patterns and counters are bit-identical for any
 	// value.
 	Workers int
+	// Tables optionally supplies prebuilt shared tables for the universe's
+	// netlist, so repeated RunAll calls over one circuit skip rebuilding
+	// levelization, fan-out lists and SCOAP weights. When nil, RunAll
+	// builds them once per invocation (never once per worker).
+	Tables *Tables
 }
 
 // RunAll generates test cubes for every fault of the universe.
@@ -601,18 +742,31 @@ type Options struct {
 // loop, which this replaces bit for bit at a fraction of the simulation
 // work.
 func RunAll(u *faultsim.Universe, opt Options) (*Result, error) {
+	tables := opt.Tables
+	if tables == nil {
+		t, err := NewTables(u.Net)
+		if err != nil {
+			return nil, err
+		}
+		tables = t
+	} else if !tables.Valid(u.Net) {
+		// Stale tables would index out of range or silently miss outputs
+		// deep in the engine; fail loudly instead.
+		return nil, fmt.Errorf("atpg: Options.Tables built over a different netlist (or the netlist was mutated after NewTables)")
+	}
 	workers := faultsim.Options{Workers: opt.Workers}.PoolSize(len(u.Faults))
 	sims, err := faultsim.NewSimulatorPool(u, workers)
 	if err != nil {
 		return nil, err
 	}
 	r := &runner{
-		u:    u,
-		opt:  opt,
-		sims: sims,
-		src:  prng.New(opt.FillSeed),
-		res:  &Result{Cubes: cube.NewSet(len(u.Net.Inputs))},
-		done: make([]bool, len(u.Faults)),
+		u:      u,
+		opt:    opt,
+		tables: tables,
+		sims:   sims,
+		src:    prng.New(opt.FillSeed),
+		res:    &Result{Cubes: cube.NewSet(len(u.Net.Inputs))},
+		done:   make([]bool, len(u.Faults)),
 	}
 	if workers > 1 {
 		err = r.runPipelined(workers)
@@ -633,33 +787,29 @@ func RunAll(u *faultsim.Universe, opt Options) (*Result, error) {
 // their own job slots — so the done evolution, the FillSeed stream and
 // every counter advance in fault-index order regardless of scheduling.
 type runner struct {
-	u    *faultsim.Universe
-	opt  Options
-	sims []*faultsim.Simulator // sims[0] accumulates the pending batch
-	src  *prng.Source
-	res  *Result
-	done []bool
+	u      *faultsim.Universe
+	opt    Options
+	tables *Tables
+	sims   []*faultsim.Simulator // sims[0] accumulates the pending batch
+	src    *prng.Source
+	res    *Result
+	done   []bool
 }
 
-func (r *runner) newGenerator() (*Generator, error) {
-	g, err := New(r.u.Net)
-	if err != nil {
-		return nil, err
-	}
+// newGenerator builds one worker's scratch over the shared tables.
+func (r *runner) newGenerator() *Generator {
+	g := r.tables.NewGenerator()
 	if r.opt.BacktrackLimit > 0 {
 		g.BacktrackLimit = r.opt.BacktrackLimit
 	}
-	return g, nil
+	return g
 }
 
 // runSerial is the one-worker path: generate at the commit point, no
 // speculation. Batching and the pending-lane check are identical to the
 // pipelined path, so results match for any worker count.
 func (r *runner) runSerial() error {
-	g, err := r.newGenerator()
-	if err != nil {
-		return err
-	}
+	g := r.newGenerator()
 	for fi, f := range r.u.Faults {
 		if r.done[fi] || r.dropPending(fi) {
 			continue
@@ -692,11 +842,7 @@ type specJob struct {
 func (r *runner) runPipelined(workers int) error {
 	gens := make([]*Generator, workers)
 	for i := range gens {
-		g, err := r.newGenerator()
-		if err != nil {
-			return err
-		}
-		gens[i] = g
+		gens[i] = r.newGenerator()
 	}
 	depth := 4 * workers // speculation window; bounds wasted PODEM runs
 	jobs := make(chan *specJob, depth)

@@ -144,6 +144,52 @@ func TestUntestableFaultReported(t *testing.T) {
 	}
 }
 
+// BenchmarkImply isolates one implication: assigning a primary input and
+// propagating its consequences (plus the matching undo for the event
+// engine, so every iteration starts from the same state). The event-driven
+// engine touches only the input's changed cone; the reference re-simulates
+// all gates, which is what every PODEM decision, flip and backtrack used
+// to cost.
+func BenchmarkImply(b *testing.B) {
+	nl, err := netlist.Random(netlist.RandomConfig{Inputs: 200, Outputs: 64, Gates: 2000, MaxFan: 3, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tables, err := NewTables(nl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := faultsim.NewUniverse(nl)
+	f := u.Faults[0] // a primary-input stem: the deepest cone in the circuit
+	b.Run("event", func(b *testing.B) {
+		g := tables.NewGenerator()
+		g.begin(f)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pi := i % len(nl.Inputs)
+			mark := len(g.trail)
+			g.assign(pi, uint8(i>>3&1))
+			g.undoTo(mark)
+		}
+	})
+	b.Run("reference-resim", func(b *testing.B) {
+		r := newRefGenerator(tables)
+		for i := range r.good {
+			r.good[i] = vX
+			r.bad[i] = vX
+		}
+		r.computeCone(f)
+		r.simulate(f)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			gi := nl.Inputs[i%len(nl.Inputs)]
+			r.good[gi] = uint8(i >> 3 & 1)
+			r.simulate(f)
+			r.good[gi] = vX
+		}
+	})
+}
+
 func BenchmarkPODEMRandom(b *testing.B) {
 	nl, err := netlist.Random(netlist.RandomConfig{Inputs: 32, Outputs: 8, Gates: 200, MaxFan: 3, Seed: 42})
 	if err != nil {

@@ -1,0 +1,279 @@
+package atpg
+
+// White-box tests for the PODEM building blocks — backtrace, objective,
+// the incremental dFrontier and xPathToOutput — on handcrafted netlists
+// that hit the branches the end-to-end tests rarely exercise: fanout-stem
+// input-pin faults, reconvergence, infeasible objectives, inversion parity
+// and dead-end backtraces.
+
+import (
+	"testing"
+
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+)
+
+// gateIdx resolves a signal name or fails the test.
+func gateIdx(t *testing.T, n *netlist.Netlist, name string) int {
+	t.Helper()
+	gi, ok := n.Index(name)
+	if !ok {
+		t.Fatalf("no signal %q", name)
+	}
+	return gi
+}
+
+// piIdx resolves a primary input name to its position in n.Inputs.
+func piIdx(t *testing.T, g *Generator, name string) int {
+	t.Helper()
+	gi := gateIdx(t, g.t.net, name)
+	ii := g.t.inputIdx[gi]
+	if ii < 0 {
+		t.Fatalf("signal %q is not a primary input", name)
+	}
+	return ii
+}
+
+func wantFrontier(t *testing.T, g *Generator, want ...int) {
+	t.Helper()
+	got := g.dFrontier()
+	if len(got) != len(want) {
+		t.Fatalf("D-frontier %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("D-frontier %v, want %v", got, want)
+		}
+	}
+}
+
+// TestDFrontierStemFaultIncremental drives the incremental D-frontier
+// through a c17 stem fault by hand: activation populates both reconvergent
+// branches, undo restores the previous frontier exactly, and re-assignment
+// rebuilds it.
+func TestDFrontierStemFaultIncremental(t *testing.T) {
+	n := readC17(t)
+	g, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g11, g16, g19 := gateIdx(t, n, "11"), gateIdx(t, n, "16"), gateIdx(t, n, "19")
+	f := faultsim.Fault{Gate: g11, Pin: -1, Stuck: 0} // stem sa0, branches to 16 and 19
+	g.begin(f)
+	// Nothing activated yet: the site's good value is X, no definite
+	// good/faulty difference exists on any fan-in.
+	wantFrontier(t, g)
+
+	// Setting input 3 = 0 forces the stem good value to NAND(0, X) = 1,
+	// so both branch gates see a definite 1/0 difference on the stem.
+	mark := len(g.trail)
+	g.assign(piIdx(t, g, "3"), 0)
+	wantFrontier(t, g, g16, g19)
+
+	// O(changed-cone) undo must restore the empty frontier.
+	g.undoTo(mark)
+	wantFrontier(t, g)
+
+	// Setting input 3 = 1 leaves the stem good value X — activation is
+	// still open (input 6 could be 0), but no difference is definite yet.
+	g.assign(piIdx(t, g, "3"), 1)
+	wantFrontier(t, g)
+	if gate, val, feasible := g.objective(); !feasible || gate != g11 || val != 1 {
+		t.Fatalf("objective = (%d, %d, %v), want activation (%d, 1, true)", gate, val, feasible, g11)
+	}
+}
+
+// TestDFrontierInputPinFault covers the fanout-branch (input-pin) fault
+// special case: the faulted gate itself joins the frontier via the
+// injected pin, leaves it once both its values are definite, and the
+// difference moves to its fan-out.
+func TestDFrontierInputPinFault(t *testing.T) {
+	n := readC17(t)
+	g, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g16, g22 := gateIdx(t, n, "16"), gateIdx(t, n, "22")
+	// Branch fault: gate 16's input pin 1 (signal 11) stuck at 1.
+	f := faultsim.Fault{Gate: g16, Pin: 1, Stuck: 1}
+	g.begin(f)
+	wantFrontier(t, g)
+
+	// Activate the site: 3 = 1, 6 = 1 force signal 11 = NAND(1,1) = 0,
+	// the complement of the stuck value. Gate 16 sees good 0 / faulty 1 on
+	// the injected pin while its own output is not fully definite.
+	g.assign(piIdx(t, g, "3"), 1)
+	g.assign(piIdx(t, g, "6"), 1)
+	wantFrontier(t, g, g16)
+
+	// Input 2 = 1 makes gate 16 definite on both sides (good 1, faulty 0):
+	// it leaves the frontier and the difference advances to gate 22 (gate
+	// 23 resolves to a definite difference at the output — detection).
+	mark := len(g.trail)
+	g.assign(piIdx(t, g, "2"), 1)
+	wantFrontier(t, g, g22)
+	if !g.detected() {
+		t.Fatal("difference reached output 23 but detected() is false")
+	}
+
+	g.undoTo(mark)
+	wantFrontier(t, g, g16)
+	if g.detected() {
+		t.Fatal("detected() still true after undo")
+	}
+}
+
+// TestXPathBlockedByDefiniteValues pins xPathToOutput's pruning: a path is
+// open only while every forward gate still has an X on its good or faulty
+// value.
+func TestXPathBlockedByDefiniteValues(t *testing.T) {
+	n := netlist.New()
+	n.AddInput("a")
+	n.AddInput("b")
+	n.AddInput("c")
+	n.AddGate("y", netlist.And, "a", "b")
+	n.AddGate("z", netlist.Or, "y", "c")
+	n.MarkOutput("z")
+	g, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, z := gateIdx(t, n, "y"), gateIdx(t, n, "z")
+	g.begin(faultsim.Fault{Gate: y, Pin: -1, Stuck: 0})
+	if !g.xPathToOutput(y) {
+		t.Fatal("all-X circuit: path y→z should be open")
+	}
+	if !g.xPathToOutput(z) {
+		t.Fatal("an output gate always has an X-path (itself)")
+	}
+	// c = 1 forces z to a definite value on both sides: the only path from
+	// y is blocked.
+	mark := len(g.trail)
+	g.assign(piIdx(t, g, "c"), 1)
+	if g.xPathToOutput(y) {
+		t.Fatal("z definite on both sides: path y→z should be blocked")
+	}
+	g.undoTo(mark)
+	g.assign(piIdx(t, g, "c"), 0)
+	if !g.xPathToOutput(y) {
+		t.Fatal("c=0 leaves z = OR(X, 0) = X: path should be open")
+	}
+}
+
+// TestObjectiveInfeasible covers both dead-end branches: activation
+// impossible under the current assignment, and an activated fault with an
+// empty D-frontier (difference generated but nowhere to advance).
+func TestObjectiveInfeasible(t *testing.T) {
+	n := readC17(t)
+	g, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g11 := gateIdx(t, n, "11")
+	g.begin(faultsim.Fault{Gate: g11, Pin: -1, Stuck: 0})
+	// 3 = 1, 6 = 1 drive the site to NAND(1,1) = 0 — equal to the stuck
+	// value, so the fault cannot be activated any more.
+	g.assign(piIdx(t, g, "3"), 1)
+	g.assign(piIdx(t, g, "6"), 1)
+	if _, _, feasible := g.objective(); feasible {
+		t.Fatal("objective feasible although good[site] == stuck value")
+	}
+
+	// Dead logic: the fault activates but has no fan-out, so the frontier
+	// stays empty and propagation is infeasible.
+	dead := netlist.New()
+	dead.AddInput("a")
+	dead.AddInput("b")
+	dead.AddGate("dead", netlist.And, "a", "b")
+	dead.AddGate("live", netlist.Or, "a", "b")
+	dead.MarkOutput("live")
+	gd, err := New(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd.begin(faultsim.Fault{Gate: gateIdx(t, dead, "dead"), Pin: -1, Stuck: 0})
+	gd.assign(piIdx(t, gd, "a"), 1)
+	gd.assign(piIdx(t, gd, "b"), 1)
+	if gd.good[gateIdx(t, dead, "dead")] != 1 {
+		t.Fatal("fault site not activated")
+	}
+	if _, _, feasible := gd.objective(); feasible {
+		t.Fatal("objective feasible although the D-frontier is empty")
+	}
+}
+
+// TestObjectiveXorNonControlling covers the XOR-ish frontier branch: XOR
+// has no non-controlling value, so the objective falls back to 0 on the
+// first X fan-in.
+func TestObjectiveXorNonControlling(t *testing.T) {
+	n := netlist.New()
+	n.AddInput("a")
+	n.AddInput("b")
+	n.AddGate("x", netlist.Xor, "a", "b")
+	n.MarkOutput("x")
+	g, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := gateIdx(t, n, "a"), gateIdx(t, n, "b")
+	g.begin(faultsim.Fault{Gate: a, Pin: -1, Stuck: 0})
+	g.assign(piIdx(t, g, "a"), 1)
+	wantFrontier(t, g, gateIdx(t, n, "x"))
+	gate, val, feasible := g.objective()
+	if !feasible || gate != b || val != v0 {
+		t.Fatalf("objective = (%d, %d, %v), want XOR fallback (%d, 0, true)", gate, val, feasible, b)
+	}
+}
+
+// TestBacktraceInversionAndDeadEnds covers backtrace's inversion parity
+// through NAND/NOT/XNOR, the SCOAP-cost tie-break, and both dead-end
+// returns (input already assigned, no X fan-in left).
+func TestBacktraceInversionAndDeadEnds(t *testing.T) {
+	n := netlist.New()
+	n.AddInput("a")
+	n.AddInput("b")
+	n.AddGate("g1", netlist.Nand, "a", "b")
+	n.AddGate("n1", netlist.Not, "a")
+	n.AddGate("x1", netlist.Xnor, "a", "b")
+	n.MarkOutput("g1")
+	n.MarkOutput("n1")
+	n.MarkOutput("x1")
+	g, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := gateIdx(t, n, "a")
+	g.begin(faultsim.Fault{Gate: a, Pin: -1, Stuck: 0})
+
+	// NAND inverts: wanting g1=0 means driving a fan-in to 1, and the
+	// SCOAP tie prefers the first cheapest fan-in (a).
+	if pi, val, ok := g.backtrace(gateIdx(t, n, "g1"), v0); !ok || pi != piIdx(t, g, "a") || val != v1 {
+		t.Fatalf("backtrace(g1, 0) = (%d, %d, %v), want (a, 1, true)", pi, val, ok)
+	}
+	if pi, val, ok := g.backtrace(gateIdx(t, n, "g1"), v1); !ok || pi != piIdx(t, g, "a") || val != v0 {
+		t.Fatalf("backtrace(g1, 1) = (%d, %d, %v), want (a, 0, true)", pi, val, ok)
+	}
+	// NOT inverts once.
+	if pi, val, ok := g.backtrace(gateIdx(t, n, "n1"), v1); !ok || pi != piIdx(t, g, "a") || val != v0 {
+		t.Fatalf("backtrace(n1, 1) = (%d, %d, %v), want (a, 0, true)", pi, val, ok)
+	}
+	// XNOR inverts like NAND for the parity walk.
+	if pi, val, ok := g.backtrace(gateIdx(t, n, "x1"), v1); !ok || pi != piIdx(t, g, "a") || val != v0 {
+		t.Fatalf("backtrace(x1, 1) = (%d, %d, %v), want (a, 0, true)", pi, val, ok)
+	}
+
+	// With a assigned, backtrace on the input itself is a dead end, and g1
+	// walks to the remaining X fan-in b.
+	g.assign(piIdx(t, g, "a"), 1)
+	if _, _, ok := g.backtrace(a, v1); ok {
+		t.Fatal("backtrace onto an assigned input must fail")
+	}
+	if pi, val, ok := g.backtrace(gateIdx(t, n, "g1"), v0); !ok || pi != piIdx(t, g, "b") || val != v1 {
+		t.Fatalf("backtrace(g1, 0) with a assigned = (%d, %d, %v), want (b, 1, true)", pi, val, ok)
+	}
+	// Both fan-ins assigned: no X fan-in to follow.
+	g.assign(piIdx(t, g, "b"), 1)
+	if _, _, ok := g.backtrace(gateIdx(t, n, "g1"), v0); ok {
+		t.Fatal("backtrace with no X fan-in must fail")
+	}
+}

@@ -246,3 +246,37 @@ func TestLitdataConsistency(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionTablesRebuiltAfterMutation guards the Tables cache's
+// staleness handling: mutating a core between ATPG runs must transparently
+// rebuild the cached tables instead of failing RunAll's validity check.
+func TestSessionTablesRebuiltAfterMutation(t *testing.T) {
+	s := ciSession()
+	core, err := netlist.Random(netlist.RandomConfig{Inputs: 12, Outputs: 4, Gates: 40, MaxFan: 3, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := s.Tables(core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2, err := s.Tables(core); err != nil || t2 != t1 {
+		t.Fatalf("unmutated core: cached tables not reused (%p vs %p, err %v)", t2, t1, err)
+	}
+	if _, err := core.AddGate("extra", netlist.And, "pi0", "pi1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.MarkOutput("extra"); err != nil {
+		t.Fatal(err)
+	}
+	t3, err := s.Tables(core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3 == t1 || !t3.Valid(core) {
+		t.Fatal("mutated core: stale tables served from the cache")
+	}
+	if _, _, err := s.ATPG(core, 1); err != nil {
+		t.Fatalf("ATPG after mutation: %v", err)
+	}
+}

@@ -104,6 +104,7 @@ type Session struct {
 	sets map[string]*memo[*cube.Set]
 	encs map[encKey]*memo[*encoder.Encoding]
 	idxs map[encKey]*memo[*stateskip.VecEmbeddings]
+	tabs map[*netlist.Netlist]*memo[*atpg.Tables]
 }
 
 type encKey struct {
@@ -143,6 +144,7 @@ func NewSession(scale benchprofile.Scale) *Session {
 		sets:   make(map[string]*memo[*cube.Set]),
 		encs:   make(map[encKey]*memo[*encoder.Encoding]),
 		idxs:   make(map[encKey]*memo[*stateskip.VecEmbeddings]),
+		tabs:   make(map[*netlist.Netlist]*memo[*atpg.Tables]),
 	}
 }
 
@@ -205,14 +207,45 @@ func (s *Session) parallelFor(n int, fn func(i int) error) error {
 	return nil
 }
 
+// Tables returns the (cached) shared ATPG tables of a core — levelization,
+// fan-out lists and SCOAP weights, built once per netlist and reused by
+// every ATPG run the session performs over it. A core mutated since the
+// tables were cached (gates or outputs added) is detected and rebuilt, so
+// mutate-then-rerun flows keep working.
+func (s *Session) Tables(core *netlist.Netlist) (*atpg.Tables, error) {
+	build := func() (*atpg.Tables, error) { return atpg.NewTables(core) }
+	t, err := cached(&s.mu, s.tabs, core, build)
+	if err != nil || t.Valid(core) {
+		return t, err
+	}
+	s.mu.Lock()
+	delete(s.tabs, core)
+	s.mu.Unlock()
+	return cached(&s.mu, s.tabs, core, build)
+}
+
 // ATPG runs the full PODEM + fault-drop flow over a gate-level core with
 // the session's Workers budget forwarded into atpg.Options, so the cube
 // generation pipeline, the drop-loop simulator pool and the experiment
 // drivers all share one knob. cmd/stateskip's `atpg` subcommand goes
 // through here. Results are bit-identical for any Workers value.
 func (s *Session) ATPG(core *netlist.Netlist, fillSeed uint64) (*faultsim.Universe, *atpg.Result, error) {
+	return s.ATPGOpts(core, atpg.Options{FaultDrop: true, FillSeed: fillSeed})
+}
+
+// ATPGOpts is ATPG with caller-controlled options (backtrack limit, fault
+// dropping, fill seed). The session injects its Workers budget and the
+// cached shared Tables of the core, so repeated runs over one netlist pay
+// levelization and SCOAP once.
+func (s *Session) ATPGOpts(core *netlist.Netlist, opt atpg.Options) (*faultsim.Universe, *atpg.Result, error) {
+	t, err := s.Tables(core)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt.Workers = s.Workers
+	opt.Tables = t
 	u := faultsim.NewUniverse(core)
-	res, err := atpg.RunAll(u, atpg.Options{FaultDrop: true, FillSeed: fillSeed, Workers: s.Workers})
+	res, err := atpg.RunAll(u, opt)
 	if err != nil {
 		return nil, nil, err
 	}

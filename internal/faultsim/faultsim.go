@@ -84,7 +84,9 @@ func NewUniverse(n *netlist.Netlist) *Universe {
 
 // topology holds the per-circuit structures every Simulator shares: the
 // topological order, per-gate levels, fan-out lists and output
-// reachability. It is immutable once built.
+// reachability. It is immutable once built; order, level and fanout are
+// the netlist's shared caches (netlist.Levelize/Levels/Fanouts), never
+// mutated here.
 type topology struct {
 	order      []int
 	level      []int
@@ -108,28 +110,18 @@ func newTopology(n *netlist.Netlist) (*topology, error) {
 	if err != nil {
 		return nil, err
 	}
+	level, numLevels, err := n.Levels()
+	if err != nil {
+		return nil, err
+	}
 	ng := n.NumGates()
 	t := &topology{
 		order:      order,
-		level:      make([]int, ng),
-		fanout:     make([][]int, ng),
+		level:      level,
+		numLevels:  numLevels,
+		fanout:     n.Fanouts(),
 		isOutput:   make([]bool, ng),
 		observable: make([]bool, ng),
-	}
-	for gi, g := range n.Gates {
-		for _, f := range g.Fanin {
-			t.fanout[f] = append(t.fanout[f], gi)
-		}
-	}
-	for _, gi := range order {
-		for _, f := range n.Gates[gi].Fanin {
-			if t.level[f]+1 > t.level[gi] {
-				t.level[gi] = t.level[f] + 1
-			}
-		}
-		if t.level[gi]+1 > t.numLevels {
-			t.numLevels = t.level[gi] + 1
-		}
 	}
 	for _, o := range n.Outputs {
 		t.isOutput[o] = true

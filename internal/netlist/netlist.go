@@ -13,6 +13,7 @@ package netlist
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // GateType enumerates the supported gate functions.
@@ -129,12 +130,23 @@ type Gate struct {
 
 // Netlist is a combinational circuit. Gates are stored in input order
 // followed by declaration order; Levelize sorts them topologically.
+//
+// The derived structures (topological order, fan-out lists, levels) are
+// computed lazily under a mutex, so read-only consumers — the ATPG tables
+// and the fault simulator's topology — may levelize the same netlist from
+// concurrent goroutines. Building the netlist (AddInput/AddGate/MarkOutput)
+// is not concurrency-safe and invalidates the caches.
 type Netlist struct {
 	Gates   []Gate
 	Inputs  []int // gate indices of primary inputs
 	Outputs []int // gate indices of primary outputs
 	byName  map[string]int
-	order   []int // topological order (gate indices), nil until Levelize
+
+	mu        sync.Mutex
+	order     []int   // topological order (gate indices), nil until Levelize
+	fanouts   [][]int // per-gate fan-out lists, nil until Fanouts
+	levels    []int   // per-gate longest path from an input, nil until Levels
+	numLevels int
 }
 
 // New returns an empty netlist.
@@ -151,8 +163,16 @@ func (n *Netlist) AddInput(name string) (int, error) {
 	n.Gates = append(n.Gates, Gate{Name: name, Type: Input})
 	n.byName[name] = idx
 	n.Inputs = append(n.Inputs, idx)
-	n.order = nil
+	n.invalidate()
 	return idx, nil
+}
+
+// invalidate drops the derived caches after a structural mutation.
+func (n *Netlist) invalidate() {
+	n.order = nil
+	n.fanouts = nil
+	n.levels = nil
+	n.numLevels = 0
 }
 
 // AddGate declares a gate driven by existing signals and returns its index.
@@ -180,7 +200,7 @@ func (n *Netlist) AddGate(name string, t GateType, fanin ...string) (int, error)
 	idx := len(n.Gates)
 	n.Gates = append(n.Gates, g)
 	n.byName[name] = idx
-	n.order = nil
+	n.invalidate()
 	return idx, nil
 }
 
@@ -191,6 +211,7 @@ func (n *Netlist) MarkOutput(name string) error {
 		return fmt.Errorf("netlist: unknown output signal %q", name)
 	}
 	n.Outputs = append(n.Outputs, idx)
+	n.invalidate()
 	return nil
 }
 
@@ -204,8 +225,15 @@ func (n *Netlist) Index(name string) (int, bool) {
 func (n *Netlist) NumGates() int { return len(n.Gates) }
 
 // Levelize computes (and caches) a topological order. It fails on
-// combinational loops.
+// combinational loops. The returned slice is shared and must be treated as
+// read-only.
 func (n *Netlist) Levelize() ([]int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.levelize()
+}
+
+func (n *Netlist) levelize() ([]int, error) {
 	if n.order != nil {
 		return n.order, nil
 	}
@@ -241,6 +269,55 @@ func (n *Netlist) Levelize() ([]int, error) {
 	}
 	n.order = order
 	return order, nil
+}
+
+// Fanouts returns the (cached) per-gate fan-out lists: Fanouts()[gi] holds
+// the indices of every gate that reads gi. The slices are shared and must
+// be treated as read-only.
+func (n *Netlist) Fanouts() [][]int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.fanouts == nil {
+		fanouts := make([][]int, len(n.Gates))
+		for gi, g := range n.Gates {
+			for _, f := range g.Fanin {
+				fanouts[f] = append(fanouts[f], gi)
+			}
+		}
+		n.fanouts = fanouts
+	}
+	return n.fanouts
+}
+
+// Levels returns the (cached) per-gate level — the longest path from any
+// input, inputs at level 0 — and the total level count (max level + 1). A
+// gate's level is always strictly greater than each of its fan-ins', which
+// is what levelized event queues rely on. The slice is shared and must be
+// treated as read-only.
+func (n *Netlist) Levels() ([]int, int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.levels == nil {
+		order, err := n.levelize()
+		if err != nil {
+			return nil, 0, err
+		}
+		levels := make([]int, len(n.Gates))
+		numLevels := 1
+		for _, gi := range order {
+			for _, f := range n.Gates[gi].Fanin {
+				if levels[f]+1 > levels[gi] {
+					levels[gi] = levels[f] + 1
+				}
+			}
+			if levels[gi]+1 > numLevels {
+				numLevels = levels[gi] + 1
+			}
+		}
+		n.levels = levels
+		n.numLevels = numLevels
+	}
+	return n.levels, n.numLevels, nil
 }
 
 // Eval computes all primary outputs for a full input assignment, indexed
@@ -284,26 +361,14 @@ type Stats struct {
 
 // Summary computes circuit statistics.
 func (n *Netlist) Summary() (Stats, error) {
-	order, err := n.Levelize()
+	_, numLevels, err := n.Levels()
 	if err != nil {
 		return Stats{}, err
-	}
-	level := make([]int, len(n.Gates))
-	max := 0
-	for _, gi := range order {
-		for _, f := range n.Gates[gi].Fanin {
-			if level[f]+1 > level[gi] {
-				level[gi] = level[f] + 1
-			}
-		}
-		if level[gi] > max {
-			max = level[gi]
-		}
 	}
 	return Stats{
 		Inputs:  len(n.Inputs),
 		Outputs: len(n.Outputs),
 		Gates:   len(n.Gates) - len(n.Inputs),
-		Levels:  max,
+		Levels:  numLevels - 1,
 	}, nil
 }
