@@ -146,6 +146,45 @@ func BenchmarkTable4(b *testing.B) {
 	b.Log("\n" + md)
 }
 
+// BenchmarkEncode measures window-based seed computation end to end on the
+// two extreme workloads (s13207 conflict-bound, s38417 rank-bound and
+// densest), serial versus the candidate scan fanned out across every CPU.
+// The shared-tables cache is reused across iterations, exactly as
+// experiments.Session reuses it across a sweep, so the loop measures the
+// reduced-basis candidate-scan hot path; the first iteration also pays the
+// symbolic table build. Seeds, assignments and check counts are identical
+// for any worker count (TestEncodeWorkersBitIdentical) and to the
+// pre-reduced-basis engine (TestEncodeGolden).
+func BenchmarkEncode(b *testing.B) {
+	L := 32
+	if benchScale() == benchprofile.ScalePaper {
+		L = 50
+	}
+	for _, name := range []string{"s13207", "s38417"} {
+		p, err := benchprofile.ByName(name, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		set := p.Generate()
+		cache := encoder.NewTablesCache()
+		for _, workers := range []int{1, runtime.NumCPU()} {
+			b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				var enc *encoder.Encoding
+				for i := 0; i < b.N; i++ {
+					e, _, err := encoder.EncodeAutoCached(p.LFSRSize, p.Width, p.Chains, L, set, workers, cache)
+					if err != nil {
+						b.Fatal(err)
+					}
+					enc = e
+				}
+				b.ReportMetric(float64(len(enc.Seeds)), "seeds")
+				b.ReportMetric(float64(enc.ChecksPerformed), "checks")
+			})
+		}
+	}
+}
+
 // BenchmarkCoverage measures fault-universe coverage of a fixed random
 // core, serial (workers=1) versus sharded across every CPU. Detection
 // results are bit-identical for any worker count (asserted by the

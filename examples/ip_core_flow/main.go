@@ -70,17 +70,22 @@ func main() {
 	fmt.Printf("fault simulation: shipped set covers %.1f%% of all faults (random circuits are redundancy-heavy)\n", cov*100)
 
 	// 4. The integrator's side: compress the cubes. The LFSR must give
-	// s_max some head room (Koenemann's margin).
+	// s_max some head room (Koenemann's margin). The shared-tables cache
+	// keeps the symbolic simulation of each phase-shifter variant tried at
+	// this configuration, so re-encoding the same geometry (e.g. after
+	// regenerating cubes, or sweeping the fill seed) pays for it once.
 	n := sum.MaxSpecified + 12
 	const chains, L = 8, 24
-	enc, variant, err := stateskiplfsr.EncodeAuto(n, sum.Width, chains, L, res.Cubes)
+	encTables := stateskiplfsr.NewEncoderTablesCache()
+	enc, variant, err := stateskiplfsr.EncodeAutoCached(n, sum.Width, chains, L, res.Cubes, encTables)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("reseeding: n=%d, %d seeds (variant %d), TDV %d bits vs %d raw bits (%.1fx)\n",
 		n, len(enc.Seeds), variant, enc.TDV(), res.Cubes.Len()*sum.Width,
 		float64(res.Cubes.Len()*sum.Width)/float64(enc.TDV()))
-	fmt.Printf("full-window test sequence: %d vectors\n", enc.TSL())
+	fmt.Printf("full-window test sequence: %d vectors (%d consistency checks, tables built in %.1fms)\n",
+		enc.TSL(), enc.ChecksPerformed, enc.TableBuildTime.Seconds()*1000)
 
 	// 5. State Skip reduction.
 	red, err := stateskiplfsr.Reduce(enc, stateskiplfsr.ReduceOptions(4, 12))

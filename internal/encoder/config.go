@@ -7,6 +7,17 @@ import (
 	"repro/internal/scan"
 )
 
+// standardFillSeed keys the free-variable fill PRNG of every standard
+// configuration.
+const standardFillSeed = 0xC0FFEE
+
+// assembleStandard is the single source of truth for the standard Config's
+// field choices; the cached and uncached EncodeAuto paths both go through
+// it so their encodings cannot drift apart.
+func assembleStandard(l *lfsr.LFSR, ps *phaseshifter.PhaseShifter, geo scan.Geometry, L int) Config {
+	return Config{LFSR: l, PS: ps, Geo: geo, WindowLen: L, FillSeed: standardFillSeed}
+}
+
 // StandardConfig assembles the canonical decompressor used throughout the
 // paper's experiments: a Fibonacci LFSR of size n with a curated primitive
 // polynomial, the standard 3-tap phase shifter, and `chains` balanced scan
@@ -24,7 +35,7 @@ func StandardConfig(n, width, chains, L int) (Config, error) {
 	if err != nil {
 		return Config{}, err
 	}
-	return Config{LFSR: l, PS: ps, Geo: geo, WindowLen: L, FillSeed: 0xC0FFEE}, nil
+	return assembleStandard(l, ps, geo, L), nil
 }
 
 // StandardConfigVariant is StandardConfig with an explicit phase-shifter
@@ -42,7 +53,7 @@ func StandardConfigVariant(n, width, chains, L int, variant uint64) (Config, err
 	if err != nil {
 		return Config{}, err
 	}
-	return Config{LFSR: l, PS: ps, Geo: geo, WindowLen: L, FillSeed: 0xC0FFEE}, nil
+	return assembleStandard(l, ps, geo, L), nil
 }
 
 // EncodeAuto encodes the set with the standard decompressor, retrying with
@@ -60,12 +71,36 @@ func EncodeAuto(n, width, chains, L int, set *cube.Set) (*Encoding, uint64, erro
 // candidate-scan parallelism (0 = GOMAXPROCS), for callers that already run
 // several encodings concurrently.
 func EncodeAutoWorkers(n, width, chains, L int, set *cube.Set, workers int) (*Encoding, uint64, error) {
+	return EncodeAutoCached(n, width, chains, L, set, workers, nil)
+}
+
+// EncodeAutoCached is EncodeAutoWorkers with a shared TablesCache: the
+// symbolic tables of every phase-shifter variant tried are left in the
+// cache, so *repeated* encodes of the same (n, width, chains, L)
+// configuration — a session sweep revisiting a cell, a benchmark loop —
+// serve every variant they re-try from the cache instead of re-simulating.
+// (Within a single call each variant has its own phase shifter, so the
+// first encode of a configuration builds each tried variant's tables
+// exactly once, cache or not.) A nil cache builds private tables. The
+// encodings produced are identical with and without a cache.
+func EncodeAutoCached(n, width, chains, L int, set *cube.Set, workers int, cache *TablesCache) (*Encoding, uint64, error) {
 	const maxVariants = 16
 	var lastErr error
 	for v := uint64(0); v < maxVariants; v++ {
-		cfg, err := StandardConfigVariant(n, width, chains, L, v)
-		if err != nil {
-			return nil, v, err
+		var cfg Config
+		if cache != nil {
+			tabs, err := cache.TablesFor(n, width, chains, L, v)
+			if err != nil {
+				return nil, v, err
+			}
+			cfg = assembleStandard(tabs.LFSR(), tabs.PS(), tabs.Geo(), L)
+			cfg.Tables = tabs
+		} else {
+			var err error
+			cfg, err = StandardConfigVariant(n, width, chains, L, v)
+			if err != nil {
+				return nil, v, err
+			}
 		}
 		cfg.Workers = workers
 		enc, err := Encode(cfg, set)

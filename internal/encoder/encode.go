@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cube"
 	"repro/internal/gf2"
@@ -29,6 +31,11 @@ type Config struct {
 	// NoPruning disables monotone feasibility pruning (ablation hook; the
 	// result is identical, only slower).
 	NoPruning bool
+	// Tables optionally supplies prebuilt shared symbolic tables. They must
+	// wrap this Config's exact LFSR, PS and Geo values; the window is
+	// extended in place if the tables are shorter than WindowLen. Nil builds
+	// private tables.
+	Tables *Tables
 }
 
 // Assignment records where one cube was deterministically embedded.
@@ -51,6 +58,10 @@ type Encoding struct {
 	// ChecksPerformed counts linear-system consistency checks, a measure of
 	// encoder effort used by the pruning ablation.
 	ChecksPerformed int64
+	// TableBuildTime is the wall time this encoding spent materialising
+	// symbolic tables and equation indices — ~0 when Config.Tables served
+	// everything from the shared arena.
+	TableBuildTime time.Duration
 }
 
 // TDV returns the test data volume in bits: seeds × n.
@@ -73,11 +84,29 @@ func Encode(cfg Config, set *cube.Set) (*Encoding, error) {
 	if set.Width != cfg.Geo.Width {
 		return nil, fmt.Errorf("encoder: cube width %d != scan width %d", set.Width, cfg.Geo.Width)
 	}
-	table, err := BuildExprTable(cfg.LFSR, cfg.PS, cfg.Geo, cfg.WindowLen)
+	tabs := cfg.Tables
+	if tabs == nil {
+		var err error
+		tabs, err = NewTables(cfg.LFSR, cfg.PS, cfg.Geo)
+		if err != nil {
+			return nil, err
+		}
+	} else if tabs.l != cfg.LFSR || tabs.ps != cfg.PS || tabs.geo != cfg.Geo {
+		return nil, fmt.Errorf("encoder: Config.Tables built for a different decompressor")
+	}
+	t0 := time.Now()
+	table, err := tabs.EnsureLen(cfg.WindowLen)
 	if err != nil {
 		return nil, err
 	}
-	return encodeWithTable(cfg, set, table)
+	sys := tabs.Systems(set)
+	built := time.Since(t0)
+	enc, err := encodeWithTable(cfg, set, table, sys)
+	if err != nil {
+		return nil, err
+	}
+	enc.TableBuildTime = built
+	return enc, nil
 }
 
 // candidate is one solvable (cube, position) system found during a scan.
@@ -87,12 +116,24 @@ type candidate struct {
 	rankInc int
 }
 
+// scanView is one worker's private probe state: a lazily reduced copy of
+// the expression table (see gf2.ReducedTable) plus elimination scratch.
+// Views persist across tiers and seeds, so a (cube, position) re-probed
+// after a commit only folds in the basis rows added since the last probe
+// instead of re-eliminating against the whole basis.
+type scanView struct {
+	view    *gf2.ReducedTable
+	scratch gf2.CheckScratch
+}
+
 type encodeState struct {
 	cfg     Config
 	set     *cube.Set
 	table   *ExprTable
+	sys     *systemIndex
 	n       int
 	L       int
+	stride  int32 // expression rows per window position
 	workers int
 
 	// order holds cube indices sorted by descending specified count; tiers
@@ -105,16 +146,20 @@ type encodeState struct {
 	feasible [][]bool
 
 	solver *gf2.Solver
+	views  []*scanView
+	eqBuf  []gf2.Equation
 	checks int64
 }
 
-func encodeWithTable(cfg Config, set *cube.Set, table *ExprTable) (*Encoding, error) {
+func encodeWithTable(cfg Config, set *cube.Set, table *ExprTable, sys *systemIndex) (*Encoding, error) {
 	st := &encodeState{
 		cfg:     cfg,
 		set:     set,
 		table:   table,
+		sys:     sys,
 		n:       cfg.LFSR.Size(),
 		L:       cfg.WindowLen,
+		stride:  int32(table.Stride()),
 		workers: cfg.Workers,
 	}
 	if st.workers <= 0 {
@@ -136,6 +181,8 @@ func encodeWithTable(cfg Config, set *cube.Set, table *ExprTable) (*Encoding, er
 	for i := range st.feasible {
 		st.feasible[i] = make([]bool, st.L)
 	}
+	st.solver = gf2.NewSolver(st.n)
+	st.views = make([]*scanView, st.workers)
 
 	enc := &Encoding{Cfg: cfg, Set: set}
 	fill := prng.New(cfg.FillSeed)
@@ -150,11 +197,20 @@ func encodeWithTable(cfg Config, set *cube.Set, table *ExprTable) (*Encoding, er
 	return enc, nil
 }
 
+// viewFor lazily creates the probe state of one worker; unused workers
+// never pay for their reduced-table copy.
+func (st *encodeState) viewFor(w int) *scanView {
+	if st.views[w] == nil {
+		st.views[w] = &scanView{view: gf2.NewReducedTable(st.solver, st.table.Rows())}
+	}
+	return st.views[w]
+}
+
 // buildSeed constructs one seed: it commits the densest remaining cube at
 // the earliest solvable window position, then greedily folds in more cubes
 // per the paper's criteria until nothing else fits.
 func (st *encodeState) buildSeed(fill *prng.Source) (Seed, error) {
-	st.solver = gf2.NewSolver(st.n)
+	st.solver.Reset()
 	for _, ci := range st.order {
 		if st.remaining[ci] {
 			for p := range st.feasible[ci] {
@@ -164,8 +220,7 @@ func (st *encodeState) buildSeed(fill *prng.Source) (Seed, error) {
 	}
 
 	var seed Seed
-	var scratch gf2.CheckScratch
-	var eqBuf []gf2.Equation
+	v0 := st.viewFor(0)
 
 	// First cube: densest remaining, at the first solvable position
 	// (position 0 in the common case the paper assumes).
@@ -178,9 +233,8 @@ func (st *encodeState) buildSeed(fill *prng.Source) (Seed, error) {
 	}
 	firstPos := -1
 	for p := 0; p < st.L; p++ {
-		eqBuf = st.table.Equations(st.set.Cubes[first], p, eqBuf[:0])
 		st.checks++
-		if _, ok := st.solver.Check(eqBuf, &scratch); ok {
+		if _, ok := v0.view.CheckSystem(st.sys.base[first], int32(p)*st.stride, st.sys.rhs[first], &v0.scratch); ok {
 			firstPos = p
 			break
 		}
@@ -188,23 +242,23 @@ func (st *encodeState) buildSeed(fill *prng.Source) (Seed, error) {
 	if firstPos < 0 {
 		return Seed{}, fmt.Errorf("encoder: cube %d (%d specified bits) cannot be embedded anywhere in a fresh window; increase the LFSR size (n=%d)", first, st.set.Cubes[first].SpecifiedCount(), st.n)
 	}
-	st.commit(first, firstPos, &seed, eqBuf)
+	st.commit(first, firstPos, &seed)
 
 	for {
 		cand, ok := st.scanTiers()
 		if !ok {
 			break
 		}
-		eqBuf = st.table.Equations(st.set.Cubes[cand.cube], cand.pos, eqBuf[:0])
-		st.commit(cand.cube, cand.pos, &seed, eqBuf)
+		st.commit(cand.cube, cand.pos, &seed)
 	}
 
 	seed.Value = st.solver.Solution(func(int) uint8 { return fill.Bit() })
 	return seed, nil
 }
 
-func (st *encodeState) commit(ci, pos int, seed *Seed, eqs []gf2.Equation) {
-	if _, ok := st.solver.AddSystem(eqs); !ok {
+func (st *encodeState) commit(ci, pos int, seed *Seed) {
+	st.eqBuf = st.table.Equations(st.set.Cubes[ci], pos, st.eqBuf[:0])
+	if _, ok := st.solver.AddSystem(st.eqBuf); !ok {
 		panic("encoder: committing a system that was just verified solvable")
 	}
 	seed.Assignments = append(seed.Assignments, Assignment{Cube: ci, Pos: pos})
@@ -241,55 +295,76 @@ func (st *encodeState) scanTiers() (candidate, bool) {
 	return candidate{}, false
 }
 
-// scanTier checks every still-feasible (cube, position) pair of one tier in
-// parallel. Positions proven unsolvable are pruned for the rest of this
-// seed's construction (constraints only grow, so unsolvable stays
-// unsolvable — DESIGN.md item 1).
+// scanCube probes every still-feasible position of one cube through a
+// worker's reduced view. Positions proven unsolvable are pruned for the
+// rest of this seed's construction (constraints only grow, so unsolvable
+// stays unsolvable — DESIGN.md item 1).
+func (st *encodeState) scanCube(v *scanView, ci int, out *[]candidate) int64 {
+	feas := st.feasible[ci]
+	base, rhs := st.sys.base[ci], st.sys.rhs[ci]
+	var local int64
+	for p := 0; p < st.L; p++ {
+		if !feas[p] && !st.cfg.NoPruning {
+			continue
+		}
+		local++
+		inc, ok := v.view.CheckSystem(base, int32(p)*st.stride, rhs, &v.scratch)
+		if !ok {
+			feas[p] = false
+			continue
+		}
+		*out = append(*out, candidate{cube: ci, pos: p, rankInc: inc})
+	}
+	return local
+}
+
+// scanTier checks every still-feasible (cube, position) pair of one tier,
+// fanned out over the persistent worker views. The basis is immutable for
+// the whole scan, each view and each cube's feasibility row is owned by
+// exactly one goroutine at a time, and results are index-addressed — so the
+// tie-breaks below see the same candidate set for any worker count.
 func (st *encodeState) scanTier(tier []int) (candidate, bool) {
-	type cubeResult struct {
-		cands []candidate // solvable positions with their rank increase
-	}
-	results := make([]cubeResult, len(tier))
-	var wg sync.WaitGroup
+	results := make([][]candidate, len(tier))
 	var checkCount int64
-	var mu sync.Mutex
-	sem := make(chan struct{}, st.workers)
-	for ti, ci := range tier {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(ti, ci int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			var scratch gf2.CheckScratch
-			var eqBuf []gf2.Equation
-			var local int64
-			c := st.set.Cubes[ci]
-			feas := st.feasible[ci]
-			for p := 0; p < st.L; p++ {
-				if !feas[p] && !st.cfg.NoPruning {
-					continue
-				}
-				eqBuf = st.table.Equations(c, p, eqBuf[:0])
-				local++
-				inc, ok := st.solver.Check(eqBuf, &scratch)
-				if !ok {
-					feas[p] = false
-					continue
-				}
-				results[ti].cands = append(results[ti].cands, candidate{cube: ci, pos: p, rankInc: inc})
-			}
-			mu.Lock()
-			checkCount += local
-			mu.Unlock()
-		}(ti, ci)
+	workers := st.workers
+	if workers > len(tier) {
+		workers = len(tier)
 	}
-	wg.Wait()
+	if workers <= 1 {
+		v := st.viewFor(0)
+		for ti, ci := range tier {
+			checkCount += st.scanCube(v, ci, &results[ti])
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for w := 0; w < workers; w++ {
+			v := st.viewFor(w)
+			wg.Add(1)
+			go func(v *scanView) {
+				defer wg.Done()
+				var local int64
+				for {
+					ti := int(next.Add(1)) - 1
+					if ti >= len(tier) {
+						break
+					}
+					local += st.scanCube(v, tier[ti], &results[ti])
+				}
+				mu.Lock()
+				checkCount += local
+				mu.Unlock()
+			}(v)
+		}
+		wg.Wait()
+	}
 	st.checks += checkCount
 
 	// Tie-break 1: fewest replaced variables (minimum rank increase).
 	minInc := -1
-	for _, r := range results {
-		for _, c := range r.cands {
+	for _, cands := range results {
+		for _, c := range cands {
 			if minInc < 0 || c.rankInc < minInc {
 				minInc = c.rankInc
 			}
@@ -300,15 +375,15 @@ func (st *encodeState) scanTier(tier []int) (candidate, bool) {
 	}
 	// Tie-break 2: the cube encodable at the fewest window positions.
 	solvableCount := make(map[int]int)
-	for _, r := range results {
-		for _, c := range r.cands {
+	for _, cands := range results {
+		for _, c := range cands {
 			solvableCount[c.cube]++
 		}
 	}
 	best := candidate{cube: -1}
 	bestCount := 0
-	for _, r := range results {
-		for _, c := range r.cands {
+	for _, cands := range results {
+		for _, c := range cands {
 			if c.rankInc != minInc {
 				continue
 			}

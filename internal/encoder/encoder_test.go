@@ -1,7 +1,11 @@
 package encoder
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/benchprofile"
 	"repro/internal/cube"
@@ -117,6 +121,31 @@ func TestWindowEncodingNeedsFewerSeeds(t *testing.T) {
 	}
 }
 
+// assertEncodingsIdentical compares two encodings bit for bit: seed values,
+// every assignment, and the consistency-check count.
+func assertEncodingsIdentical(t *testing.T, label string, a, b *Encoding) {
+	t.Helper()
+	if len(a.Seeds) != len(b.Seeds) {
+		t.Fatalf("%s: seed count %d vs %d", label, len(a.Seeds), len(b.Seeds))
+	}
+	for i := range a.Seeds {
+		if !a.Seeds[i].Value.Equal(b.Seeds[i].Value) {
+			t.Fatalf("%s: seed %d value differs", label, i)
+		}
+		if len(a.Seeds[i].Assignments) != len(b.Seeds[i].Assignments) {
+			t.Fatalf("%s: seed %d assignment count differs", label, i)
+		}
+		for j := range a.Seeds[i].Assignments {
+			if a.Seeds[i].Assignments[j] != b.Seeds[i].Assignments[j] {
+				t.Fatalf("%s: seed %d assignment %d differs", label, i, j)
+			}
+		}
+	}
+	if a.ChecksPerformed != b.ChecksPerformed {
+		t.Fatalf("%s: checks %d vs %d", label, a.ChecksPerformed, b.ChecksPerformed)
+	}
+}
+
 func TestEncodeDeterministic(t *testing.T) {
 	set := genSet(t, "s15850", 30)
 	cfg := smallConfig(t, 20, set.Width, 8, 10)
@@ -128,16 +157,145 @@ func TestEncodeDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(a.Seeds) != len(b.Seeds) {
-		t.Fatalf("nondeterministic seed count: %d vs %d", len(a.Seeds), len(b.Seeds))
+	assertEncodingsIdentical(t, "rerun", a, b)
+}
+
+// TestEncodeWorkersBitIdentical asserts the candidate scan's determinism
+// contract: seeds, assignments and even the number of consistency checks
+// are identical for any Workers value (the scan fans out over per-worker
+// reduced views, but every (cube, position) verdict is value-deterministic
+// and the tie-breaks are index-addressed).
+func TestEncodeWorkersBitIdentical(t *testing.T) {
+	set := genSet(t, "s38417", 0)
+	cfg := smallConfig(t, 32, set.Width, 8, 12)
+	cfg.Workers = 1
+	want, err := Encode(cfg, set)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for i := range a.Seeds {
-		if !a.Seeds[i].Value.Equal(b.Seeds[i].Value) {
-			t.Fatalf("seed %d differs between runs", i)
+	for _, workers := range []int{2, 3, 7, 0} {
+		cfg.Workers = workers
+		got, err := Encode(cfg, set)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
 		}
-		if len(a.Seeds[i].Assignments) != len(b.Seeds[i].Assignments) {
-			t.Fatalf("seed %d assignment count differs", i)
-		}
+		assertEncodingsIdentical(t, fmt.Sprintf("workers=%d", workers), want, got)
+	}
+}
+
+// TestEncodeGolden locks the exact encoder output (seed bits, assignments,
+// check counts, phase-shifter variant) to the values produced before the
+// reduced-basis engine landed, recorded from the naive per-check Gaussian
+// re-elimination implementation. Any optimisation must keep these hashes.
+func TestEncodeGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	golden := []struct {
+		circuit string
+		L       int
+		seeds   int
+		variant uint64
+		checks  int64
+		sha     string
+	}{
+		{"s9234", 1, 17, 0, 422, "3bee2f1a5a219130"},
+		{"s9234", 8, 12, 0, 2241, "1debcd69beb33f9e"},
+		{"s13207", 12, 8, 0, 2655, "12117b5814d3a21f"},
+		{"s15850", 10, 10, 0, 2419, "2673aac6a4874203"},
+		{"s38417", 16, 28, 0, 18955, "6525763250d6d42c"},
+		{"s38584", 24, 10, 1, 6787, "fa5ecc7a39d98366"},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(fmt.Sprintf("%s_L%d", g.circuit, g.L), func(t *testing.T) {
+			t.Parallel()
+			p, err := benchprofile.ByName(g.circuit, benchprofile.ScaleCI)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := p.Generate()
+			enc, variant, err := EncodeAuto(p.LFSRSize, p.Width, p.Chains, g.L, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := sha256.New()
+			for _, s := range enc.Seeds {
+				fmt.Fprintf(h, "%s\n", s.Value.String())
+				for _, a := range s.Assignments {
+					fmt.Fprintf(h, "%d@%d ", a.Cube, a.Pos)
+				}
+				fmt.Fprintln(h)
+			}
+			sha := hex.EncodeToString(h.Sum(nil)[:8])
+			if len(enc.Seeds) != g.seeds || variant != g.variant || enc.ChecksPerformed != g.checks || sha != g.sha {
+				t.Fatalf("golden mismatch: seeds=%d variant=%d checks=%d sha=%s, want seeds=%d variant=%d checks=%d sha=%s",
+					len(enc.Seeds), variant, enc.ChecksPerformed, sha, g.seeds, g.variant, g.checks, g.sha)
+			}
+		})
+	}
+}
+
+// TestEncodeSharedTablesIdentical runs the same encoding with private
+// tables, with explicitly shared tables, and through the TablesCache path;
+// all three must agree bit for bit, and the shared runs must report ~zero
+// table-build time on reuse.
+func TestEncodeSharedTablesIdentical(t *testing.T) {
+	set := genSet(t, "s13207", 40)
+	cfg := smallConfig(t, 16, set.Width, 8, 12)
+	want, err := Encode(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tabs, err := NewTables(cfg.LFSR, cfg.PS, cfg.Geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tables = tabs
+	first, err := Encode(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEncodingsIdentical(t, "shared tables", want, first)
+	again, err := Encode(cfg, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEncodingsIdentical(t, "shared tables reuse", want, again)
+	// The reuse path does no symbolic simulation; a generous absolute cap
+	// keeps the assertion meaningful without racing the scheduler.
+	if again.TableBuildTime > 100*time.Millisecond {
+		t.Errorf("reused tables reported %v build time", again.TableBuildTime)
+	}
+
+	cache := NewTablesCache()
+	a, va, err := EncodeAutoCached(16, set.Width, 8, 12, set, 0, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, vb, err := EncodeAutoWorkers(16, set.Width, 8, 12, set, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va != vb {
+		t.Fatalf("cached variant %d != uncached %d", va, vb)
+	}
+	assertEncodingsIdentical(t, "cache vs fresh", b, a)
+}
+
+// TestEncodeRejectsForeignTables guards the Config.Tables validation: a
+// Tables built for one decompressor must not silently encode another.
+func TestEncodeRejectsForeignTables(t *testing.T) {
+	set := genSet(t, "s9234", 10)
+	cfg := smallConfig(t, 24, set.Width, 8, 4)
+	other := smallConfig(t, 24, set.Width, 8, 4)
+	tabs, err := NewTables(other.LFSR, other.PS, other.Geo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Tables = tabs
+	if _, err := Encode(cfg, set); err == nil {
+		t.Error("foreign tables accepted")
 	}
 }
 

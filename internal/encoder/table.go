@@ -28,57 +28,42 @@ import (
 
 // ExprTable holds, for every window position and cube bit position, the
 // linear expression (over the n seed variables) that the decompressor
-// produces there. Built once per (LFSR, phase shifter, geometry, L) and
-// shared by every seed computation.
+// produces there. It is an immutable snapshot over the shared arena of a
+// Tables value: the expression for (cycle t, chain ch) is row t·m+ch of the
+// row set. Built once per (LFSR, phase shifter, geometry, L) and shared by
+// every seed computation.
 type ExprTable struct {
 	L   int
 	N   int
 	Geo scan.Geometry
 
-	words int      // words per expression
-	arena []uint64 // backing storage for all expressions
-	// expression for (cycle t, chain ch) lives at arena slot (t*m + ch)
+	rows gf2.RowSet
 }
 
 // BuildExprTable symbolically simulates the LFSR through L·r cycles and
-// materialises the phase-shifter output expressions.
+// materialises the phase-shifter output expressions. Callers that probe
+// several window lengths of one decompressor should hold a Tables value
+// instead and let EnsureLen extend the shared arena incrementally.
 func BuildExprTable(l *lfsr.LFSR, ps *phaseshifter.PhaseShifter, geo scan.Geometry, L int) (*ExprTable, error) {
-	if L < 1 {
-		return nil, fmt.Errorf("encoder: window length %d must be ≥ 1", L)
+	t, err := NewTables(l, ps, geo)
+	if err != nil {
+		return nil, err
 	}
-	if ps.Outputs() != geo.Chains {
-		return nil, fmt.Errorf("encoder: phase shifter outputs %d != scan chains %d", ps.Outputs(), geo.Chains)
-	}
-	if ps.Size() != l.Size() {
-		return nil, fmt.Errorf("encoder: phase shifter size %d != LFSR size %d", ps.Size(), l.Size())
-	}
-	n := l.Size()
-	words := (n + 63) / 64
-	cycles := L * geo.Length
-	m := geo.Chains
-	t := &ExprTable{
-		L: L, N: n, Geo: geo,
-		words: words,
-		arena: make([]uint64, cycles*m*words),
-	}
-	sym := lfsr.NewSymbolic(l)
-	for cyc := 0; cyc < cycles; cyc++ {
-		for ch := 0; ch < m; ch++ {
-			dst := t.exprAt(cyc, ch)
-			for _, cell := range ps.Taps(ch) {
-				dst.Xor(sym.Expr(cell))
-			}
-		}
-		sym.Step()
-	}
-	return t, nil
+	return t.EnsureLen(L)
 }
 
-// exprAt returns the (mutable, arena-backed) expression for output ch at
-// absolute cycle t.
+// Rows exposes the expression arena as an indexed row set; row t·m+ch is
+// the expression of chain ch at absolute cycle t.
+func (t *ExprTable) Rows() gf2.RowSet { return t.rows }
+
+// Stride returns the row-index distance between the same scan cell at
+// consecutive window positions: Length·Chains rows per window vector.
+func (t *ExprTable) Stride() int { return t.Geo.Length * t.Geo.Chains }
+
+// exprAt returns the (arena-backed) expression for output ch at absolute
+// cycle t. Read-only by convention.
 func (t *ExprTable) exprAt(cyc, ch int) gf2.Vec {
-	idx := (cyc*t.Geo.Chains + ch) * t.words
-	return gf2.VecView(t.N, t.arena[idx:idx+t.words])
+	return t.rows.Row(cyc*t.Geo.Chains + ch)
 }
 
 // Expr returns the seed-variable expression of cube bit position pos within
@@ -103,4 +88,4 @@ func (t *ExprTable) Equations(c cube.Cube, v int, buf []gf2.Equation) []gf2.Equa
 }
 
 // MemoryBytes reports the arena size, for diagnostics.
-func (t *ExprTable) MemoryBytes() int { return len(t.arena) * 8 }
+func (t *ExprTable) MemoryBytes() int { return t.rows.Count() * ((t.N + 63) / 64) * 8 }

@@ -5,7 +5,10 @@ import (
 
 	"repro/internal/cube"
 	"repro/internal/gf2"
+	"repro/internal/lfsr"
+	"repro/internal/phaseshifter"
 	"repro/internal/prng"
+	"repro/internal/scan"
 )
 
 // TestDependenciesPositionInvariant pins the structural fact the whole
@@ -46,6 +49,70 @@ func TestDependenciesPositionInvariant(t *testing.T) {
 				t.Fatalf("trial %d: dependency over slots %v differs between position 0 and %d", trial, slots, v)
 			}
 		}
+	}
+}
+
+// TestExprTableIncrementalExtension pins the Tables growth path: extending
+// a shared arena from window length L1 to L2 must produce expressions bit-
+// identical to a fresh build at L2 — the retained symbolic simulation must
+// resume exactly where the prefix ended. Checked for both register forms,
+// since their Step recurrences rotate the symbolic state differently.
+func TestExprTableIncrementalExtension(t *testing.T) {
+	taps, ok := lfsr.Taps(18)
+	if !ok {
+		t.Fatal("no curated taps for n=18")
+	}
+	for _, form := range []lfsr.Form{lfsr.Fibonacci, lfsr.Galois} {
+		form := form
+		t.Run(form.String(), func(t *testing.T) {
+			l, err := lfsr.NewFromTaps(form, 18, taps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			geo, err := scan.New(60, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, err := phaseshifter.New(18, [][]int{{0, 5, 11}, {1, 7, 13}, {2, 9, 15}, {3, 6, 17}, {4, 10, 14}, {8, 12, 16}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tabs, err := NewTables(l, ps, geo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Grow 4 → 7 → 13, checking every snapshot against a fresh build
+			// and re-checking earlier snapshots after later extensions.
+			var snaps []*ExprTable
+			for _, L := range []int{4, 7, 13} {
+				snap, err := tabs.EnsureLen(L)
+				if err != nil {
+					t.Fatal(err)
+				}
+				snaps = append(snaps, snap)
+				fresh, err := BuildExprTable(l, ps, geo, L)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, tab := range snaps {
+					for v := 0; v < tab.L; v++ {
+						for pos := 0; pos < geo.Width; pos++ {
+							if !tab.Expr(v, pos).Equal(fresh.Expr(v, pos)) {
+								t.Fatalf("L=%d snapshot(L=%d): expr (%d,%d) differs from fresh build", L, tab.L, v, pos)
+							}
+						}
+					}
+				}
+			}
+			// Shrinking requests reuse the prefix without re-simulating.
+			small, err := tabs.EnsureLen(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if small.L != 2 || small.Rows().Count() != 2*geo.Length*geo.Chains {
+				t.Fatalf("L=2 snapshot has %d rows", small.Rows().Count())
+			}
+		})
 	}
 }
 

@@ -100,6 +100,13 @@ type Session struct {
 	// CPUs. The rendered tables are identical for any value.
 	Workers int
 
+	// EncTables memoizes the encoder's shared symbolic tables per
+	// decompressor configuration (LFSR size, geometry, window length and
+	// phase-shifter variant), so every phase-shifter variant tried across
+	// the session's sweep pays for its symbolic simulation at most once —
+	// the encoding-side analogue of the ATPG Tables cache below.
+	EncTables *encoder.TablesCache
+
 	mu   sync.Mutex
 	sets map[string]*memo[*cube.Set]
 	encs map[encKey]*memo[*encoder.Encoding]
@@ -139,12 +146,13 @@ func cached[K comparable, V any](mu *sync.Mutex, m map[K]*memo[V], k K, compute 
 // default parameters.
 func NewSession(scale benchprofile.Scale) *Session {
 	return &Session{
-		Scale:  scale,
-		Params: ParamsFor(scale),
-		sets:   make(map[string]*memo[*cube.Set]),
-		encs:   make(map[encKey]*memo[*encoder.Encoding]),
-		idxs:   make(map[encKey]*memo[*stateskip.VecEmbeddings]),
-		tabs:   make(map[*netlist.Netlist]*memo[*atpg.Tables]),
+		Scale:     scale,
+		Params:    ParamsFor(scale),
+		EncTables: encoder.NewTablesCache(),
+		sets:      make(map[string]*memo[*cube.Set]),
+		encs:      make(map[encKey]*memo[*encoder.Encoding]),
+		idxs:      make(map[encKey]*memo[*stateskip.VecEmbeddings]),
+		tabs:      make(map[*netlist.Netlist]*memo[*atpg.Tables]),
 	}
 }
 
@@ -275,7 +283,7 @@ func (s *Session) Encoding(circuit string, L int) (*encoder.Encoding, error) {
 		if err != nil {
 			return nil, err
 		}
-		enc, _, err := encoder.EncodeAutoWorkers(p.LFSRSize, p.Width, p.Chains, L, set, s.Workers)
+		enc, _, err := encoder.EncodeAutoCached(p.LFSRSize, p.Width, p.Chains, L, set, s.Workers, s.EncTables)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s L=%d: %w", circuit, L, err)
 		}

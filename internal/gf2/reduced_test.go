@@ -1,0 +1,125 @@
+package gf2
+
+import (
+	"testing"
+
+	"repro/internal/prng"
+)
+
+// randRowSet builds a RowSet of count random n-bit rows plus matching
+// Equation values over the same backing words.
+func randRowSet(src *prng.Source, n, count int) (RowSet, []Equation) {
+	w := wordsFor(n)
+	arena := make([]uint64, count*w)
+	rs := NewRowSet(n, arena)
+	eqs := make([]Equation, count)
+	for i := 0; i < count; i++ {
+		row := rs.Row(i)
+		for b := 0; b < n; b++ {
+			row.SetBit(b, src.Bit())
+		}
+		eqs[i] = Equation{Coeffs: row, RHS: src.Bit()}
+	}
+	return rs, eqs
+}
+
+// TestCheckSystemAgreesWithCheck drives a solver through interleaved
+// commits, resets and checks and asserts that ReducedTable.CheckSystem
+// returns exactly what the naive Solver.Check returns for the same rows —
+// including after multi-epoch catch-ups (rows left stale over several
+// basis additions) and across generations.
+func TestCheckSystemAgreesWithCheck(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		src := prng.New(seed*2718 + 1)
+		n := 5 + src.Intn(80)
+		count := 4 + src.Intn(40)
+		rs, eqs := randRowSet(src, n, count)
+		s := NewSolver(n)
+		rt := NewReducedTable(s, rs)
+		var scN, scR CheckScratch
+		for step := 0; step < 60; step++ {
+			switch src.Intn(10) {
+			case 0: // reset: new seed computation begins
+				s.Reset()
+			case 1, 2: // commit a random row directly (ReducedTable not told)
+				s.Add(eqs[src.Intn(count)])
+			default: // check a random subsystem both ways
+				k := 1 + src.Intn(6)
+				idx := make([]int32, k)
+				rhs := make([]uint8, k)
+				sys := make([]Equation, k)
+				for i := 0; i < k; i++ {
+					ri := src.Intn(count)
+					idx[i] = int32(ri)
+					rhs[i] = eqs[ri].RHS
+					sys[i] = eqs[ri]
+				}
+				wantInc, wantOK := s.Check(sys, &scN)
+				gotInc, gotOK := rt.CheckSystem(idx, 0, rhs, &scR)
+				if wantInc != gotInc || wantOK != gotOK {
+					t.Fatalf("seed %d step %d: CheckSystem (%d,%v) != Check (%d,%v)",
+						seed, step, gotInc, gotOK, wantInc, wantOK)
+				}
+			}
+		}
+	}
+}
+
+// TestResidualMatchesFreshReduction pins the cached residual and folded RHS
+// against reducing the source row from scratch.
+func TestResidualMatchesFreshReduction(t *testing.T) {
+	src := prng.New(99)
+	n := 40
+	rs, _ := randRowSet(src, n, 25)
+	s := NewSolver(n)
+	rt := NewReducedTable(s, rs)
+	fresh := NewVec(n)
+	for step := 0; step < 40; step++ {
+		s.Add(Equation{Coeffs: randVec(src, n), RHS: src.Bit()})
+		// Touch a few rows; leave the rest stale for later multi-epoch catch-up.
+		for j := 0; j < 3; j++ {
+			i := src.Intn(25)
+			got, delta := rt.Residual(i)
+			wantDelta := s.reduceInto(fresh, Equation{Coeffs: rs.Row(i), RHS: 0})
+			if !got.Equal(fresh) {
+				t.Fatalf("step %d row %d: residual mismatch\n got %v\nwant %v", step, i, got, fresh)
+			}
+			// delta is defined by: equation (row, rhs) reduces to RHS rhs ⊕ delta.
+			if delta != wantDelta {
+				t.Fatalf("step %d row %d: delta %d, want %d", step, i, delta, wantDelta)
+			}
+		}
+	}
+}
+
+// TestCheckSystemOffset checks the index-offset addressing used by the
+// encoder's per-position probes.
+func TestCheckSystemOffset(t *testing.T) {
+	src := prng.New(7)
+	n := 16
+	rs, eqs := randRowSet(src, n, 12)
+	s := NewSolver(n)
+	s.Add(eqs[0])
+	rt := NewReducedTable(s, rs)
+	var sc CheckScratch
+	for off := int32(0); off < 8; off++ {
+		idx := []int32{0, 1, 2, 3}
+		rhs := []uint8{eqs[off].RHS, eqs[off+1].RHS, eqs[off+2].RHS, eqs[off+3].RHS}
+		sys := []Equation{eqs[off], eqs[off+1], eqs[off+2], eqs[off+3]}
+		var scN CheckScratch
+		wantInc, wantOK := s.Check(sys, &scN)
+		gotInc, gotOK := rt.CheckSystem(idx, off, rhs, &sc)
+		if wantInc != gotInc || wantOK != gotOK {
+			t.Fatalf("offset %d: (%d,%v) != (%d,%v)", off, gotInc, gotOK, wantInc, wantOK)
+		}
+	}
+}
+
+func TestRowSetValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged arena accepted")
+		}
+	}()
+	NewRowSet(65, make([]uint64, 3)) // 65 bits → 2 words per row; 3 is ragged
+}

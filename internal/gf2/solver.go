@@ -18,7 +18,15 @@ type Equation struct {
 // It maintains a basis of constraint rows in reduced row-echelon form, keyed
 // by pivot column (the lowest set coefficient bit of each row). New
 // constraints can be tested for consistency against the current basis
-// without mutating it (Check) or folded in permanently (Add/AddSystem).
+// without mutating it (Check/ReducedTable.CheckSystem) or folded in
+// permanently (Add/AddSystem).
+//
+// The basis lives in one contiguous word arena (row p at word offset
+// p·words) with a pivot-column mask, so hot reductions jump straight to
+// pivot hits instead of walking every set bit of a dense row. Reset bumps
+// a generation counter; together with the mask it lets attached
+// ReducedTables catch lazily reduced rows up to the current basis without
+// re-eliminating from scratch.
 //
 // This is the engine behind LFSR reseeding: each specified bit of a test
 // cube contributes one Equation relating the LFSR seed variables, and a cube
@@ -26,10 +34,16 @@ type Equation struct {
 // with everything already committed to the seed.
 type Solver struct {
 	n     int
-	rows  []Vec   // indexed by pivot column; rows[p].Len()==0 means no row
-	rhs   []uint8 // rhs[p] is the right-hand side of rows[p]
+	words int
+	basis []uint64 // n rows × words; row p at [p*words : (p+1)*words]
+	occ   []bool   // occ[p]: basis row with pivot p present
+	rhs   []uint8  // rhs[p] is the right-hand side of row p
 	rank  int
-	order []int // pivots in insertion order, for diagnostics
+	piv   Vec    // mask of occupied pivot columns, for masked elimination
+	order []int  // pivots in insertion order — the epoch log for ReducedTable
+	gen   uint32 // bumped by Reset so ReducedTable caches invalidate lazily
+
+	scratch Vec // reusable reduction buffer for Add
 }
 
 // NewSolver returns an empty solver over n variables.
@@ -37,10 +51,16 @@ func NewSolver(n int) *Solver {
 	if n <= 0 {
 		panic(fmt.Sprintf("gf2: solver needs at least one variable, got %d", n))
 	}
+	w := wordsFor(n)
 	return &Solver{
-		n:    n,
-		rows: make([]Vec, n),
-		rhs:  make([]uint8, n),
+		n:       n,
+		words:   w,
+		basis:   make([]uint64, n*w),
+		occ:     make([]bool, n),
+		rhs:     make([]uint8, n),
+		piv:     NewVec(n),
+		gen:     1,
+		scratch: NewVec(n),
 	}
 }
 
@@ -53,32 +73,41 @@ func (s *Solver) Rank() int { return s.rank }
 // FreeVars returns the number of still-unconstrained dimensions (n - rank).
 func (s *Solver) FreeVars() int { return s.n - s.rank }
 
-// Clone returns an independent deep copy of the solver.
+// row returns the arena-backed view of the basis row with pivot p. Valid
+// only when occ[p].
+func (s *Solver) row(p int) Vec {
+	return VecView(s.n, s.basis[p*s.words:(p+1)*s.words])
+}
+
+// Clone returns an independent deep copy of the solver. ReducedTables
+// attached to the original do not follow the clone.
 func (s *Solver) Clone() *Solver {
 	c := &Solver{
-		n:    s.n,
-		rows: make([]Vec, s.n),
-		rhs:  make([]uint8, s.n),
-		rank: s.rank,
+		n:       s.n,
+		words:   s.words,
+		basis:   append([]uint64(nil), s.basis...),
+		occ:     append([]bool(nil), s.occ...),
+		rhs:     append([]uint8(nil), s.rhs...),
+		rank:    s.rank,
+		piv:     s.piv.Clone(),
+		order:   append([]int(nil), s.order...),
+		gen:     s.gen,
+		scratch: NewVec(s.n),
 	}
-	copy(c.rhs, s.rhs)
-	for i, r := range s.rows {
-		if r.Len() != 0 {
-			c.rows[i] = r.Clone()
-		}
-	}
-	c.order = append([]int(nil), s.order...)
 	return c
 }
 
-// Reset discards all constraints.
+// Reset discards all constraints. Attached ReducedTables notice through the
+// generation counter and refresh their cached rows lazily.
 func (s *Solver) Reset() {
-	for i := range s.rows {
-		s.rows[i] = Vec{}
+	for i := range s.occ {
+		s.occ[i] = false
 		s.rhs[i] = 0
 	}
 	s.rank = 0
+	s.piv.Zero()
 	s.order = s.order[:0]
+	s.gen++
 }
 
 // reduceInto copies eq into dst (which must be an n-bit scratch vector) and
@@ -89,11 +118,12 @@ func (s *Solver) Reset() {
 func (s *Solver) reduceInto(dst Vec, eq Equation) uint8 {
 	dst.CopyFrom(eq.Coeffs)
 	r := eq.RHS & 1
-	for b := dst.FirstSet(); b >= 0; b = dst.NextSet(b + 1) {
-		if row := s.rows[b]; row.Len() != 0 {
-			dst.Xor(row)
-			r ^= s.rhs[b]
-		}
+	// Masked elimination: jump straight to the pivot hits. Every basis row
+	// has its pivot as lowest set bit and no other pivot bits (RREF), so
+	// each XOR clears exactly one hit and the loop runs once per hit.
+	for b := dst.FirstSetAnd(s.piv); b >= 0; b = dst.FirstSetAnd(s.piv) {
+		dst.Xor(s.row(b))
+		r ^= s.rhs[b]
 	}
 	return r
 }
@@ -103,21 +133,22 @@ func (s *Solver) reduceInto(dst Vec, eq Equation) uint8 {
 // consistent is false when the equation contradicts the basis (in which
 // case the basis is left unchanged).
 func (s *Solver) Add(eq Equation) (added, consistent bool) {
-	scratch := NewVec(s.n)
-	r := s.reduceInto(scratch, eq)
-	if scratch.IsZero() {
+	r := s.reduceInto(s.scratch, eq)
+	if s.scratch.IsZero() {
 		return false, r == 0
 	}
-	p := scratch.FirstSet()
+	p := s.scratch.FirstSet()
 	// Keep reduced row-echelon form: clear the new pivot from all existing
 	// rows so Solution extraction stays a single pass.
-	for i, row := range s.rows {
-		if row.Len() != 0 && i != p && row.Bit(p) != 0 {
-			row.Xor(scratch)
-			s.rhs[i] ^= r
+	for _, q := range s.order {
+		if row := s.row(q); row.Bit(p) != 0 {
+			row.Xor(s.scratch)
+			s.rhs[q] ^= r
 		}
 	}
-	s.rows[p] = scratch
+	s.row(p).CopyFrom(s.scratch)
+	s.occ[p] = true
+	s.piv.SetBit(p, 1)
 	s.rhs[p] = r
 	s.rank++
 	s.order = append(s.order, p)
@@ -150,6 +181,7 @@ type CheckScratch struct {
 	overlay     []Vec   // overlay rows keyed by pivot, lazily sized to n
 	overlayRHS  []uint8 // RHS of overlay rows
 	overlaySet  []int   // pivots currently occupied in overlay
+	overlayMask Vec     // mask of occupied overlay pivots
 	rowPool     []Vec   // recycled n-bit vectors
 	rowPoolNext int
 }
@@ -159,8 +191,19 @@ func (sc *CheckScratch) init(n int) {
 		sc.overlay = make([]Vec, n)
 		sc.overlayRHS = make([]uint8, n)
 	}
+	if sc.overlayMask.Len() != n {
+		sc.overlayMask = NewVec(n)
+	}
 	sc.overlaySet = sc.overlaySet[:0]
 	sc.rowPoolNext = 0
+}
+
+// release clears the overlay occupancy left by one Check/CheckSystem pass.
+func (sc *CheckScratch) release() {
+	for _, p := range sc.overlaySet {
+		sc.overlay[p] = Vec{}
+		sc.overlayMask.SetBit(p, 0)
+	}
 }
 
 func (sc *CheckScratch) getRow(n int) Vec {
@@ -180,27 +223,28 @@ func (sc *CheckScratch) getRow(n int) Vec {
 // mutating the basis. It returns the rank increase the system would cause
 // and whether it is consistent. Equations within eqs may depend on each
 // other; the overlay in scratch tracks that.
+//
+// Check re-eliminates every equation against the full basis; when the
+// coefficient rows come from a fixed table that is probed repeatedly as the
+// basis grows (the encoder's candidate scan), ReducedTable.CheckSystem does
+// the same test in O(spec) by caching reduced rows.
 func (s *Solver) Check(eqs []Equation, scratch *CheckScratch) (rankIncrease int, consistent bool) {
 	scratch.init(s.n)
-	defer func() {
-		for _, p := range scratch.overlaySet {
-			scratch.overlay[p] = Vec{}
-		}
-	}()
+	defer scratch.release()
 	for _, eq := range eqs {
 		dst := scratch.getRow(s.n)
 		dst.CopyFrom(eq.Coeffs)
 		r := eq.RHS & 1
-		for b := dst.FirstSet(); b >= 0; b = dst.NextSet(b + 1) {
-			if row := s.rows[b]; row.Len() != 0 {
-				dst.Xor(row)
-				r ^= s.rhs[b]
-				continue
-			}
-			if row := scratch.overlay[b]; row.Len() != 0 {
-				dst.Xor(row)
-				r ^= scratch.overlayRHS[b]
-			}
+		// Reduce against the basis, then the overlay. Two phases suffice:
+		// overlay rows are stored fully reduced, so XORing them never
+		// reintroduces a basis-pivot bit.
+		for b := dst.FirstSetAnd(s.piv); b >= 0; b = dst.FirstSetAnd(s.piv) {
+			dst.Xor(s.row(b))
+			r ^= s.rhs[b]
+		}
+		for b := dst.FirstSetAnd(scratch.overlayMask); b >= 0; b = dst.FirstSetAnd(scratch.overlayMask) {
+			dst.Xor(scratch.overlay[b])
+			r ^= scratch.overlayRHS[b]
 		}
 		if dst.IsZero() {
 			if r != 0 {
@@ -212,6 +256,7 @@ func (s *Solver) Check(eqs []Equation, scratch *CheckScratch) (rankIncrease int,
 		p := dst.FirstSet()
 		scratch.overlay[p] = dst
 		scratch.overlayRHS[p] = r
+		scratch.overlayMask.SetBit(p, 1)
 		scratch.overlaySet = append(scratch.overlaySet, p)
 	}
 	return len(scratch.overlaySet), true
@@ -226,17 +271,17 @@ func (s *Solver) Solution(fillFree func(varIdx int) uint8) Vec {
 	sol := NewVec(s.n)
 	// Assign free variables first.
 	for i := 0; i < s.n; i++ {
-		if s.rows[i].Len() == 0 {
+		if !s.occ[i] {
 			sol.SetBit(i, fillFree(i)&1)
 		}
 	}
 	// Pivot variables follow directly from the RREF rows:
 	// row = pivot + Σ free terms, so a_p = rhs ⊕ Σ a_free.
 	for p := 0; p < s.n; p++ {
-		row := s.rows[p]
-		if row.Len() == 0 {
+		if !s.occ[p] {
 			continue
 		}
+		row := s.row(p)
 		v := s.rhs[p]
 		for b := row.NextSet(p + 1); b >= 0; b = row.NextSet(b + 1) {
 			v ^= sol.Bit(b)
@@ -252,11 +297,11 @@ func (s *Solver) Satisfies(sol Vec) bool {
 	if sol.Len() != s.n {
 		return false
 	}
-	for p, row := range s.rows {
-		if row.Len() == 0 {
+	for p := 0; p < s.n; p++ {
+		if !s.occ[p] {
 			continue
 		}
-		if row.Dot(sol) != s.rhs[p] {
+		if s.row(p).Dot(sol) != s.rhs[p] {
 			return false
 		}
 	}
@@ -266,8 +311,8 @@ func (s *Solver) Satisfies(sol Vec) bool {
 // Pivots returns the pivot columns currently in the basis, ascending.
 func (s *Solver) Pivots() []int {
 	ps := make([]int, 0, s.rank)
-	for p, row := range s.rows {
-		if row.Len() != 0 {
+	for p := 0; p < s.n; p++ {
+		if s.occ[p] {
 			ps = append(ps, p)
 		}
 	}

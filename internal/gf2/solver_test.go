@@ -1,6 +1,7 @@
 package gf2
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -103,10 +104,10 @@ func TestCheckDoesNotMutate(t *testing.T) {
 		t.Fatal("Check changed rank")
 	}
 	for p := 0; p < n; p++ {
-		if (s.rows[p].Len() == 0) != (before.rows[p].Len() == 0) {
+		if s.occ[p] != before.occ[p] {
 			t.Fatal("Check changed basis occupancy")
 		}
-		if s.rows[p].Len() != 0 && (!s.rows[p].Equal(before.rows[p]) || s.rhs[p] != before.rhs[p]) {
+		if s.occ[p] && (!s.row(p).Equal(before.row(p)) || s.rhs[p] != before.rhs[p]) {
 			t.Fatal("Check changed basis contents")
 		}
 	}
@@ -219,20 +220,42 @@ func TestSolverPivots(t *testing.T) {
 	}
 }
 
+// BenchmarkSolverCheck compares the naive per-check re-elimination against
+// the reduced-basis path at the paper's register sizes (n=24 is s13207,
+// n=85 is s38417, the largest). The "reduced" variant is the encoder's hot
+// loop: a fixed table of rows probed repeatedly as the basis grows.
 func BenchmarkSolverCheck(b *testing.B) {
-	src := prng.New(1)
-	n := 85
-	s := NewSolver(n)
-	for i := 0; i < 40; i++ {
-		s.Add(Equation{Coeffs: randVec(src, n), RHS: src.Bit()})
-	}
-	eqs := make([]Equation, 20)
-	for i := range eqs {
-		eqs[i] = Equation{Coeffs: randVec(src, n), RHS: src.Bit()}
-	}
-	var sc CheckScratch
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		s.Check(eqs, &sc)
+	for _, n := range []int{24, 85} {
+		src := prng.New(1)
+		s := NewSolver(n)
+		for i := 0; i < n/2; i++ {
+			s.Add(Equation{Coeffs: randVec(src, n), RHS: src.Bit()})
+		}
+		const spec = 20
+		eqs := make([]Equation, spec)
+		arena := make([]uint64, 0, spec*wordsFor(n))
+		idx := make([]int32, spec)
+		rhs := make([]uint8, spec)
+		for i := range eqs {
+			eqs[i] = Equation{Coeffs: randVec(src, n), RHS: src.Bit()}
+			arena = append(arena, eqs[i].Coeffs.Words()...)
+			idx[i] = int32(i)
+			rhs[i] = eqs[i].RHS
+		}
+		b.Run(fmt.Sprintf("n=%d/naive", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var sc CheckScratch
+			for i := 0; i < b.N; i++ {
+				s.Check(eqs, &sc)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/reduced", n), func(b *testing.B) {
+			b.ReportAllocs()
+			rt := NewReducedTable(s, NewRowSet(n, arena))
+			var sc CheckScratch
+			for i := 0; i < b.N; i++ {
+				rt.CheckSystem(idx, 0, rhs, &sc)
+			}
+		})
 	}
 }

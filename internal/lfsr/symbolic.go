@@ -23,11 +23,15 @@ type Symbolic struct {
 }
 
 // NewSymbolic returns a symbolic simulation at cycle 0, where cell i holds
-// exactly variable a_i.
+// exactly variable a_i. All n expressions live in one contiguous word arena
+// (Step only rotates the views and XORs in place), so long window
+// simulations walk cache lines instead of n scattered allocations.
 func NewSymbolic(l *LFSR) *Symbolic {
 	s := &Symbolic{l: l, exprs: make([]gf2.Vec, l.n)}
+	words := (l.n + 63) / 64
+	arena := make([]uint64, l.n*words)
 	for i := range s.exprs {
-		s.exprs[i] = gf2.NewVec(l.n)
+		s.exprs[i] = gf2.VecView(l.n, arena[i*words:(i+1)*words])
 		s.exprs[i].SetBit(i, 1)
 	}
 	return s

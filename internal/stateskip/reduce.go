@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/encoder"
 	"repro/internal/gf2"
@@ -108,25 +109,37 @@ func scanEmbeddingsWorkers(enc *encoder.Encoding, workers int) *VecEmbeddings {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(enc.Seeds) {
+		workers = len(enc.Seeds)
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for si := range enc.Seeds {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(si int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			window := encoder.GenerateWindow(enc.Cfg.LFSR, enc.Cfg.PS, enc.Cfg.Geo, enc.Seeds[si].Value, enc.Cfg.WindowLen)
-			found := make([][]int, nCubes)
-			for v, vec := range window {
-				for ci := 0; ci < nCubes; ci++ {
-					if enc.Set.Cubes[ci].Matches(vec) {
-						found[ci] = append(found[ci], v)
+			// One persistent window buffer per worker: the scan regenerates
+			// every seed's full window, so buffer reuse removes L vector
+			// allocations per seed. Results are index-addressed, hence
+			// identical for any worker count.
+			window := make([]gf2.Vec, enc.Cfg.WindowLen)
+			for {
+				si := int(next.Add(1)) - 1
+				if si >= len(enc.Seeds) {
+					return
+				}
+				encoder.GenerateWindowInto(window, enc.Cfg.LFSR, enc.Cfg.PS, enc.Cfg.Geo, enc.Seeds[si].Value, enc.Cfg.WindowLen)
+				found := make([][]int, nCubes)
+				for v, vec := range window {
+					for ci := 0; ci < nCubes; ci++ {
+						if enc.Set.Cubes[ci].Matches(vec) {
+							found[ci] = append(found[ci], v)
+						}
 					}
 				}
+				perSeed[si] = found
 			}
-			perSeed[si] = found
-		}(si)
+		}()
 	}
 	wg.Wait()
 	idx := &VecEmbeddings{PerCube: make([][]VecRef, nCubes)}

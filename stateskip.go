@@ -42,6 +42,12 @@ type (
 	PhaseShifter = phaseshifter.PhaseShifter
 	// EncoderConfig configures window-based reseeding.
 	EncoderConfig = encoder.Config
+	// EncoderTables are the shared symbolic tables of one decompressor,
+	// reusable across encodings via EncoderConfig.Tables.
+	EncoderTables = encoder.Tables
+	// EncoderTablesCache memoizes EncoderTables per decompressor
+	// configuration for EncodeAutoCached.
+	EncoderTablesCache = encoder.TablesCache
 	// Encoding is a computed set of seeds.
 	Encoding = encoder.Encoding
 	// Reduction is the outcome of State Skip useful-segment selection.
@@ -70,6 +76,18 @@ func Encode(cfg EncoderConfig, set *CubeSet) (*Encoding, error) { return encoder
 // the encoding and the variant used.
 func EncodeAuto(n, width, chains, L int, set *CubeSet) (*Encoding, uint64, error) {
 	return encoder.EncodeAuto(n, width, chains, L, set)
+}
+
+// NewEncoderTablesCache returns an empty shared-tables cache for
+// EncodeAutoCached.
+func NewEncoderTablesCache() *EncoderTablesCache { return encoder.NewTablesCache() }
+
+// EncodeAutoCached is EncodeAuto backed by a shared-tables cache: repeated
+// encodes of the same decompressor configuration serve the symbolic tables
+// of every variant they re-try from the cache instead of rebuilding them.
+// The encodings are identical to EncodeAuto's.
+func EncodeAutoCached(n, width, chains, L int, set *CubeSet, cache *EncoderTablesCache) (*Encoding, uint64, error) {
+	return encoder.EncodeAutoCached(n, width, chains, L, set, 0, cache)
 }
 
 // ReduceOptions returns the standard State Skip options for segment size S
