@@ -232,41 +232,55 @@ func BenchmarkCoverage(b *testing.B) {
 
 // BenchmarkRunAll measures the full ATPG pipeline (event-driven PODEM
 // implication + speculative generation + commit-ordered X-fill + 64-wide
-// batched fault dropping) end to end, serial versus pipelined across every
-// CPU. The shared atpg.Tables are built once per RunAll; per-worker
-// Generators are cheap scratch. Cubes, patterns and counters are
-// bit-identical for any worker count and to the kept full-resimulation
-// reference engine (both asserted by atpg's differential tests under
-// -race); only the wall clock differs. At paper scale the core grows to
-// the size of the paper's larger ISCAS'89-class circuits.
+// batched fault dropping) end to end: serial versus pipelined across every
+// CPU, and the classic SCOAP backtrace versus the FAN/SOCRATES multiple
+// backtrace. The shared atpg.Tables are built once per RunAll; per-worker
+// Generators are cheap scratch. Within one strategy cubes, patterns and
+// counters are bit-identical for any worker count and (for scoap) to the
+// kept full-resimulation reference engine (both asserted by atpg's
+// differential tests under -race); the strategies differ in backtracks,
+// aborts and coverage — the decision-quality metrics reported below. At
+// paper scale the core grows to the size of the paper's larger
+// ISCAS'89-class circuits.
 func BenchmarkRunAll(b *testing.B) {
-	cfg := netlist.RandomConfig{Inputs: 400, Outputs: 160, Gates: 800, MaxFan: 3, Seed: 2008}
-	if benchScale() == benchprofile.ScalePaper {
-		cfg = netlist.RandomConfig{Inputs: 800, Outputs: 320, Gates: 2400, MaxFan: 3, Seed: 2008}
-	}
-	nl, err := netlist.Random(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	u := faultsim.NewUniverse(nl)
-	// Backtrack limit 20 is the production norm for drop-loop ATPG; the
-	// default 1000 makes hard faults cost seconds each on circuits this
-	// size without changing the picture the benchmark draws.
-	for _, workers := range []int{1, runtime.NumCPU()} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			var res *atpg.Result
-			for i := 0; i < b.N; i++ {
-				r, err := atpg.RunAll(u, atpg.Options{FaultDrop: true, FillSeed: 7, Workers: workers, BacktrackLimit: 20})
-				if err != nil {
-					b.Fatal(err)
-				}
-				res = r
+	// A three-core circuit set per scale: single-circuit deltas between the
+	// strategies are dominated by random X-fill fault-drop luck; the set
+	// makes the decision-quality comparison meaningful.
+	for _, seed := range []uint64{2008, 2009, 2010} {
+		cfg := netlist.RandomConfig{Inputs: 400, Outputs: 160, Gates: 800, MaxFan: 3, Seed: seed}
+		if benchScale() == benchprofile.ScalePaper {
+			cfg = netlist.RandomConfig{Inputs: 800, Outputs: 320, Gates: 2400, MaxFan: 3, Seed: seed}
+		}
+		nl, err := netlist.Random(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		u := faultsim.NewUniverse(nl)
+		// Backtrack limit 20 is the production norm for drop-loop ATPG; the
+		// default 1000 makes hard faults cost seconds each on circuits this
+		// size without changing the picture the benchmark draws.
+		for _, strategy := range []atpg.Backtrace{atpg.BacktraceSCOAP, atpg.BacktraceMulti} {
+			for _, workers := range []int{1, runtime.NumCPU()} {
+				b.Run(fmt.Sprintf("core=%d/strategy=%v/workers=%d", seed, strategy, workers), func(b *testing.B) {
+					var res *atpg.Result
+					for i := 0; i < b.N; i++ {
+						r, err := atpg.RunAll(u, atpg.Options{
+							FaultDrop: true, FillSeed: 7, Workers: workers,
+							BacktrackLimit: 20, Backtrace: strategy,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						res = r
+					}
+					b.ReportMetric(res.Coverage*100, "coverage-%")
+					b.ReportMetric(float64(res.Cubes.Len()), "cubes")
+					b.ReportMetric(float64(res.Aborted), "aborted")
+					b.ReportMetric(float64(res.Backtracks), "backtracks")
+					b.ReportMetric(float64(len(u.Faults)), "faults")
+				})
 			}
-			b.ReportMetric(res.Coverage*100, "coverage-%")
-			b.ReportMetric(float64(res.Cubes.Len()), "cubes")
-			b.ReportMetric(float64(res.Aborted), "aborted")
-			b.ReportMetric(float64(len(u.Faults)), "faults")
-		})
+		}
 	}
 }
 
@@ -316,7 +330,7 @@ func BenchmarkHWSoC(b *testing.B) {
 	b.Log("\n" + md)
 }
 
-// BenchmarkAblationSelection quantifies DESIGN.md §5's useful-segment
+// BenchmarkAblationSelection quantifies the useful-segment
 // selection choice: the paper's fortuitous-embedding + greedy cover
 // against naive assignment-based labelling. The reported metric is the
 // TSL saved by the smart selection, in percent.
@@ -347,7 +361,7 @@ func BenchmarkAblationSelection(b *testing.B) {
 }
 
 // BenchmarkAblationPruning quantifies the encoder's monotone feasibility
-// pruning (DESIGN.md §5 item 1): consistency checks with and without it.
+// pruning (see internal/encoder): consistency checks with and without it.
 // The result is identical either way (asserted by the encoder tests); only
 // the work differs.
 func BenchmarkAblationPruning(b *testing.B) {
@@ -386,7 +400,7 @@ func BenchmarkAblationPruning(b *testing.B) {
 }
 
 // BenchmarkAblationCSE quantifies Paar common-subexpression elimination on
-// the skip-circuit XOR network (DESIGN.md §5 item 5).
+// the skip-circuit XOR network (see internal/hwcost).
 func BenchmarkAblationCSE(b *testing.B) {
 	l, err := lfsr.NewStandard(lfsr.Fibonacci, 24)
 	if err != nil {

@@ -6,7 +6,7 @@
 //
 //	stateskip [-scale=ci|paper] [-workers=N] table1|table2|table3|table4|fig4|hw|soc|all
 //	stateskip [-scale=...] gen -circuit s13207 -o cubes.txt
-//	stateskip [-workers=N] atpg [-bench core.bench] [-backtrack N] -o cubes.txt
+//	stateskip [-workers=N] atpg [-bench core.bench] [-backtrack N] [-backtrace scoap|multi] -o cubes.txt
 //	stateskip encode -circuit s13207 [-scale=...] -L 200
 //	stateskip verilog -n 24 -k 10 -o lfsr.v
 //
@@ -301,9 +301,14 @@ func runATPG(scale benchprofile.Scale, workers int, args []string) error {
 	outputs := fs.Int("outputs", 48, "outputs of the generated core")
 	seed := fs.Uint64("seed", 2008, "generation seed")
 	backtrack := fs.Int("backtrack", 0, "PODEM backtrack limit (0 = generator default)")
+	backtrace := fs.String("backtrace", "scoap", "PODEM backtrace strategy: scoap (classic single-objective) or multi (FAN/SOCRATES multiple backtrace)")
 	out := fs.String("o", "", "cube output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	strategy, ok := atpg.ParseBacktrace(*backtrace)
+	if !ok {
+		return fmt.Errorf("unknown -backtrace %q (want scoap or multi)", *backtrace)
 	}
 	var core *netlist.Netlist
 	if *bench != "" {
@@ -334,13 +339,13 @@ func runATPG(scale benchprofile.Scale, workers int, args []string) error {
 	s := experiments.NewSession(scale)
 	s.Workers = workers
 	u, res, err := s.ATPGOpts(core, atpg.Options{
-		FaultDrop: true, FillSeed: *seed, BacktrackLimit: *backtrack,
+		FaultDrop: true, FillSeed: *seed, BacktrackLimit: *backtrack, Backtrace: strategy,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "ATPG: %d faults, %d untestable, %d aborted, %d cubes, coverage %.1f%%\n",
-		len(u.Faults), res.Untestable, res.Aborted, res.Cubes.Len(), res.Coverage*100)
+	fmt.Fprintf(os.Stderr, "ATPG (%v backtrace): %d faults, %d untestable, %d aborted, %d cubes, %d backtracks, coverage %.1f%%\n",
+		strategy, len(u.Faults), res.Untestable, res.Aborted, res.Cubes.Len(), res.Backtracks, res.Coverage*100)
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)

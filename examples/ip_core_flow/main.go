@@ -17,11 +17,13 @@
 //     vectors are fault-simulated to show the compressed, shortened test
 //     still reaches the ATPG's coverage.
 //
-//     go run ./examples/ip_core_flow [-workers N]
+//     go run ./examples/ip_core_flow [-workers N] [-backtrace scoap|multi]
 //
 // -workers bounds the goroutines of the ATPG pipeline and the fault
 // simulator (0 = all CPUs); cubes, patterns and coverage are identical
-// for any value.
+// for any value. -backtrace selects the PODEM decision heuristic: the
+// classic single-objective SCOAP backtrace, or the FAN/SOCRATES-style
+// multiple backtrace (fewer backtracks, equally valid cubes).
 package main
 
 import (
@@ -37,7 +39,12 @@ import (
 
 func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for ATPG and fault simulation (0 = all CPUs)")
+	backtrace := flag.String("backtrace", "scoap", "PODEM backtrace strategy: scoap or multi")
 	flag.Parse()
+	strategy, ok := atpg.ParseBacktrace(*backtrace)
+	if !ok {
+		log.Fatalf("unknown -backtrace %q (want scoap or multi)", *backtrace)
+	}
 
 	// 1. The "vendor's" core: an 80-input scan circuit.
 	core, err := netlist.Random(netlist.RandomConfig{
@@ -52,13 +59,13 @@ func main() {
 
 	// 2. ATPG: collapsed stuck-at faults, PODEM with fault dropping.
 	universe := faultsim.NewUniverse(core)
-	res, err := atpg.RunAll(universe, atpg.Options{FaultDrop: true, FillSeed: 1, Workers: *workers})
+	res, err := atpg.RunAll(universe, atpg.Options{FaultDrop: true, FillSeed: 1, Workers: *workers, Backtrace: strategy})
 	if err != nil {
 		log.Fatal(err)
 	}
 	sum := res.Cubes.Summary()
-	fmt.Printf("ATPG: %d faults (%d proven redundant, %d aborted), %d cubes,\n",
-		len(universe.Faults), res.Untestable, res.Aborted, res.Cubes.Len())
+	fmt.Printf("ATPG (%v backtrace, %d backtracks): %d faults (%d proven redundant, %d aborted), %d cubes,\n",
+		strategy, res.Backtracks, len(universe.Faults), res.Untestable, res.Aborted, res.Cubes.Len())
 	fmt.Printf("      coverage of testable faults %.1f%%, mean %.1f specified bits (s_max %d of %d)\n",
 		res.Coverage*100, sum.MeanSpecified, sum.MaxSpecified, sum.Width)
 

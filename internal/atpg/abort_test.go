@@ -1,0 +1,196 @@
+package atpg
+
+// Handcrafted-netlist tests for the three PODEM exit paths that the
+// end-to-end suites only hit statistically: abandoning a fault at the
+// backtrack limit, proving a fault untestable by exhausting the decision
+// space, and the multiple backtrace's conflict detection pruning a dead
+// decision before implication runs. Each circuit is small enough that the
+// exact decision sequence — and therefore the exact backtrack count — can
+// be derived by hand and pinned.
+
+import (
+	"testing"
+
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+)
+
+// xorTrapNetlist returns a circuit where the classic backtrace's first
+// guess is provably wrong: activating z sa0 needs z = XOR(a, b) = 1, the
+// SCOAP tie makes the engine try a=1 then b=1 (z = 0, the stuck value), and
+// only the backtrack flip to b=0 activates and detects. One backtrack,
+// derivable by hand.
+func xorTrapNetlist(t *testing.T) (*netlist.Netlist, faultsim.Fault) {
+	t.Helper()
+	n := netlist.New()
+	n.AddInput("a")
+	n.AddInput("b")
+	if _, err := n.AddGate("z", netlist.Xor, "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddGate("out", netlist.And, "z", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MarkOutput("out"); err != nil {
+		t.Fatal(err)
+	}
+	z, _ := n.Index("z")
+	return n, faultsim.Fault{Gate: z, Pin: -1, Stuck: 0}
+}
+
+// TestAbortAtBacktrackLimit pins the StatusAborted exit: with the limit at
+// zero the first (provably necessary) backtrack exceeds it, with the
+// default limit the same run detects the fault one backtrack later. The
+// multiple backtrace never needs the backtrack at all — the XOR parity rule
+// votes b to the activating value directly.
+func TestAbortAtBacktrackLimit(t *testing.T) {
+	n, f := xorTrapNetlist(t)
+	g, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.BacktrackLimit = 0
+	if _, status := g.Generate(f); status != StatusAborted {
+		t.Fatalf("limit 0: status %v, want aborted", status)
+	}
+	if g.Backtracks != 1 {
+		t.Fatalf("limit 0: %d backtracks counted, want the 1 that broke the limit", g.Backtracks)
+	}
+
+	g.BacktrackLimit = 1000
+	if _, status := g.Generate(f); status != StatusDetected {
+		t.Fatalf("default limit: status %v, want detected", status)
+	}
+	if g.Backtracks != 1 {
+		t.Fatalf("default limit: %d backtracks, hand-derived sequence needs exactly 1", g.Backtracks)
+	}
+
+	g.Strategy = BacktraceMulti
+	if _, status := g.Generate(f); status != StatusDetected {
+		t.Fatalf("multi: status %v, want detected", status)
+	}
+	if g.Backtracks != 0 {
+		t.Fatalf("multi: %d backtracks, parity-aware votes need 0", g.Backtracks)
+	}
+}
+
+// TestUntestableProvedByExhaustion pins the StatusUntestable exit on a
+// redundant fault that is *not* structurally dead: z = AND(a, NOT a) is
+// constant 0, so z sa0 has no test, but every signal reaches an output and
+// the classic engine must actually exhaust both values of a to prove it.
+// The multiple backtrace's forced-chain analysis sees the a=1 ∧ a=0 clash
+// in the activation objective and proves the same result with zero
+// decisions and zero implications.
+func TestUntestableProvedByExhaustion(t *testing.T) {
+	n := netlist.New()
+	n.AddInput("a")
+	n.AddInput("b")
+	if _, err := n.AddGate("na", netlist.Not, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddGate("z", netlist.And, "a", "na"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddGate("out", netlist.Or, "z", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MarkOutput("out"); err != nil {
+		t.Fatal(err)
+	}
+	z, _ := n.Index("z")
+	f := faultsim.Fault{Gate: z, Pin: -1, Stuck: 0}
+
+	g, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, status := g.Generate(f); status != StatusUntestable {
+		t.Fatalf("scoap: status %v, want untestable", status)
+	}
+	if g.Backtracks < 1 {
+		t.Fatalf("scoap: %d backtracks, the proof requires flipping a", g.Backtracks)
+	}
+
+	g.Strategy = BacktraceMulti
+	if _, status := g.Generate(f); status != StatusUntestable {
+		t.Fatalf("multi: status %v, want untestable", status)
+	}
+	if g.Backtracks != 0 {
+		t.Fatalf("multi: %d backtracks, the forced-chain clash should prove it with 0", g.Backtracks)
+	}
+}
+
+// TestMultiFrontierConflictPruned drives the frontier-side conflict
+// detector white-box: after activating s sa0, the only D-frontier gate
+// needs its side input x = AND(c, NOT c) at the non-controlling value 1,
+// which the forced chain refutes (c=1 ∧ c=0). multiDecision must refuse to
+// decide — pruning the subtree before a single implication — while the
+// classic objective would happily keep deciding into the dead end. Both
+// engines must still agree the fault is untestable, the multi engine in
+// strictly fewer backtracks.
+func TestMultiFrontierConflictPruned(t *testing.T) {
+	n := netlist.New()
+	n.AddInput("a")
+	n.AddInput("b")
+	n.AddInput("c")
+	if _, err := n.AddGate("s", netlist.And, "a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddGate("nc", netlist.Not, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddGate("x", netlist.And, "c", "nc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddGate("g", netlist.And, "s", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MarkOutput("g"); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := n.Index("s")
+	gGate, _ := n.Index("g")
+	f := faultsim.Fault{Gate: s, Pin: -1, Stuck: 0}
+
+	// White-box: activate the fault by hand, then ask both decision
+	// procedures about the resulting state.
+	g, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Strategy = BacktraceMulti
+	g.begin(f)
+	g.assign(piIdx(t, g, "a"), 1)
+	g.assign(piIdx(t, g, "b"), 1)
+	wantFrontier(t, g, gGate)
+	if _, _, feasible := g.objective(); !feasible {
+		t.Fatal("classic objective should still offer the doomed frontier gate")
+	}
+	if !g.frontierBlocked(gGate) {
+		t.Fatal("frontierBlocked must refute x = AND(c, NOT c) at value 1")
+	}
+	if _, _, ok, _ := g.multiDecision(); ok {
+		t.Fatal("multiDecision must prune the all-blocked frontier instead of deciding")
+	}
+
+	// End to end, both strategies prove untestability; the pruning makes
+	// the multi proof strictly cheaper.
+	ref, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, status := ref.Generate(f); status != StatusUntestable {
+		t.Fatalf("scoap: status %v, want untestable", status)
+	}
+	multi, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi.Strategy = BacktraceMulti
+	if _, status := multi.Generate(f); status != StatusUntestable {
+		t.Fatalf("multi: status %v, want untestable", status)
+	}
+	if multi.Backtracks >= ref.Backtracks {
+		t.Fatalf("multi proof took %d backtracks, reference %d — pruning bought nothing", multi.Backtracks, ref.Backtracks)
+	}
+}

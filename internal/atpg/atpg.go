@@ -1,6 +1,6 @@
 // Package atpg is a PODEM-style deterministic test pattern generator for
 // single stuck-at faults over internal/netlist circuits — the final piece
-// of the Atalanta substitute (DESIGN.md §2). It produces test *cubes*
+// of the Atalanta substitute (ARCHITECTURE.md §②). It produces test *cubes*
 // (patterns with don't-cares), which is exactly what the paper's encoding
 // flow consumes: the fewer bits PODEM needs to specify, the more cubes a
 // seed window can absorb.
@@ -49,11 +49,14 @@ type trailEntry struct {
 }
 
 // decision is one PODEM decision-stack frame. mark is the trail length
-// before the decision's implication, i.e. the undo point.
+// before the decision's implication, i.e. the undo point. forced frames
+// (multiple backtrace only) hold values proven necessary for activation:
+// backtracking pops them without trying the opposite branch.
 type decision struct {
 	input   int // index into net.Inputs
 	value   uint8
 	flipped bool
+	forced  bool
 	mark    int
 }
 
@@ -84,6 +87,12 @@ type Generator struct {
 	cone     []int
 	coneMark []bool
 
+	// detCount tracks how many primary outputs currently show a definite
+	// good/faulty difference, maintained incrementally by every value
+	// change and undo so detected() is O(1) instead of a full output scan
+	// per PODEM iteration.
+	detCount int
+
 	// Incremental D-frontier: inFrontier is the membership truth,
 	// frontier/inList an insert-only list with lazy deletion (compacted by
 	// dFrontier), dirty the cone gates whose membership may have changed in
@@ -106,12 +115,27 @@ type Generator struct {
 	gbuf, bbuf []uint8
 	decisions  []decision
 
+	// mb is the multiple-backtrace scratch (vote counters, forced-chain
+	// marks), allocated on the first BacktraceMulti decision.
+	mb *multiScratch
+
 	// implyHook, when non-nil, runs after every completed implication
 	// (begin and each assign). The differential tests install it to compare
 	// the incremental good/bad state against a full re-simulation.
 	implyHook func()
 
-	// Limits.
+	// Strategy selects the decision heuristic: the classic single-objective
+	// SCOAP backtrace (the zero value) or the FAN/SOCRATES-style multiple
+	// backtrace with early conflict detection (see backtrace.go).
+	Strategy Backtrace
+
+	// Backtracks counts the chronological backtracks of the most recent
+	// Generate call — the decision-quality metric the backtrace strategies
+	// compete on.
+	Backtracks int
+
+	// BacktrackLimit bounds the backtracks of one Generate call; past it
+	// the fault is abandoned as StatusAborted.
 	BacktrackLimit int
 }
 
@@ -139,6 +163,7 @@ const (
 	StatusAborted
 )
 
+// String names the status for logs and error messages.
 func (s Status) String() string {
 	switch s {
 	case StatusDetected:
@@ -158,7 +183,7 @@ func (g *Generator) Generate(f faultsim.Fault) (cube.Cube, Status) {
 	n := g.t.net
 	g.begin(f)
 	stack := g.decisions[:0]
-	backtracks := 0
+	g.Backtracks = 0
 
 	for {
 		if g.detected() {
@@ -171,29 +196,32 @@ func (g *Generator) Generate(f faultsim.Fault) (cube.Cube, Status) {
 			g.decisions = stack
 			return c, StatusDetected
 		}
-		objGate, objVal, feasible := g.objective()
 		var piIdx int
 		var piVal uint8
-		backtraceOK := false
-		if feasible {
-			piIdx, piVal, backtraceOK = g.backtrace(objGate, objVal)
+		var decided, forced bool
+		if g.Strategy == BacktraceMulti {
+			piIdx, piVal, decided, forced = g.multiDecision()
+		} else {
+			piIdx, piVal, decided = g.classicDecision()
 		}
-		if !feasible || !backtraceOK {
+		if !decided {
 			// Conflict or no X-path: chronological backtracking. The trail
 			// restores exactly the gates each abandoned decision changed.
+			// Forced frames pop without a flip: their opposite branch is
+			// provably futile.
 			for {
 				if len(stack) == 0 {
 					g.decisions = stack
 					return cube.Cube{}, StatusUntestable
 				}
 				top := &stack[len(stack)-1]
-				if !top.flipped {
+				if !top.flipped && !top.forced {
 					top.flipped = true
 					top.value ^= 1
 					g.undoTo(top.mark)
 					g.assign(top.input, top.value)
-					backtracks++
-					if backtracks > g.BacktrackLimit {
+					g.Backtracks++
+					if g.Backtracks > g.BacktrackLimit {
 						g.decisions = stack
 						return cube.Cube{}, StatusAborted
 					}
@@ -204,7 +232,7 @@ func (g *Generator) Generate(f faultsim.Fault) (cube.Cube, Status) {
 			}
 			continue
 		}
-		stack = append(stack, decision{input: piIdx, value: piVal, mark: len(g.trail)})
+		stack = append(stack, decision{input: piIdx, value: piVal, forced: forced, mark: len(g.trail)})
 		g.assign(piIdx, piVal)
 	}
 }
@@ -222,6 +250,7 @@ func (g *Generator) begin(f faultsim.Fault) {
 	g.frontier = g.frontier[:0]
 	g.dirty = g.dirty[:0]
 	g.trail = g.trail[:0]
+	g.detCount = 0 // all values X: no output can show a difference
 	g.computeCone(f)
 	g.newWave()
 	if f.Pin == -1 {
@@ -308,12 +337,27 @@ func (g *Generator) markDirty(gi int) {
 // the trail, and wakes the gate's fan-out cone (events + frontier checks).
 func (g *Generator) setValue(gi int, ng, nb uint8) {
 	g.trail = append(g.trail, trailEntry{gate: int32(gi), good: g.good[gi], bad: g.bad[gi]})
+	g.detDelta(gi, g.good[gi], g.bad[gi], ng, nb)
 	g.good[gi] = ng
 	g.bad[gi] = nb
 	g.markDirty(gi)
 	for _, fo := range g.t.fanout[gi] {
 		g.markDirty(fo)
 		g.schedule(fo)
+	}
+}
+
+// detDelta adjusts the detecting-output count when gate gi's value pair
+// moves from (og, ob) to (ng, nb).
+func (g *Generator) detDelta(gi int, og, ob, ng, nb uint8) {
+	if !g.t.isOutput[gi] {
+		return
+	}
+	if og != vX && ob != vX && og != ob {
+		g.detCount--
+	}
+	if ng != vX && nb != vX && ng != nb {
+		g.detCount++
 	}
 }
 
@@ -399,6 +443,7 @@ func (g *Generator) undoTo(mark int) {
 		e := g.trail[len(g.trail)-1]
 		g.trail = g.trail[:len(g.trail)-1]
 		gi := int(e.gate)
+		g.detDelta(gi, g.good[gi], g.bad[gi], e.good, e.bad)
 		g.good[gi] = e.good
 		g.bad[gi] = e.bad
 		g.markDirty(gi)
@@ -536,15 +581,9 @@ func eval3(t netlist.GateType, in []uint8) uint8 {
 }
 
 // detected reports whether some primary output shows a definite
-// good/faulty difference.
+// good/faulty difference, from the incrementally maintained count.
 func (g *Generator) detected() bool {
-	for _, o := range g.t.net.Outputs {
-		gv, bv := g.good[o], g.bad[o]
-		if gv != vX && bv != vX && gv != bv {
-			return true
-		}
-	}
-	return false
+	return g.detCount > 0
 }
 
 // objective returns the next signal/value to justify: fault activation
@@ -568,18 +607,32 @@ func (g *Generator) objective() (gate int, val uint8, feasible bool) {
 	// gates already set to definite values is impossible, so frontier
 	// gates without an X-path are dead ends; pruning them here is the
 	// classic X-path check that makes PODEM terminate quickly on blocked
-	// faults).
-	best := -1
+	// faults). Gates whose good-side X fan-ins are all exhausted cannot
+	// seed a backtrace, so the deepest gate that still has one wins; if
+	// none has one the remaining unknowns ride the faulty circuit only and
+	// badXObjective takes over. Declaring a dead end in either corner would
+	// be unsound — exhaustion-based untestability proofs rely on every
+	// infeasible verdict being a real dead end.
+	best, bestAny := -1, -1
 	for _, gi := range g.dFrontier() {
 		if !g.xPathToOutput(gi) {
+			continue
+		}
+		if bestAny < 0 || g.t.level[gi] > g.t.level[bestAny] {
+			bestAny = gi
+		}
+		if !g.hasGoodXFanin(gi) {
 			continue
 		}
 		if best < 0 || g.t.level[gi] > g.t.level[best] {
 			best = gi
 		}
 	}
-	if best < 0 {
+	if bestAny < 0 {
 		return 0, 0, false
+	}
+	if best < 0 {
+		return g.badXObjective(bestAny)
 	}
 	gate2 := &g.t.net.Gates[best]
 	nc, ok := nonControlling(gate2.Type)
@@ -591,6 +644,46 @@ func (g *Generator) objective() (gate int, val uint8, feasible bool) {
 		if g.good[fi] == vX {
 			return fi, nc, true
 		}
+	}
+	return 0, 0, false
+}
+
+// hasGoodXFanin reports whether some fan-in of gi is still good-side X —
+// the kind of fan-in a backtrace can justify.
+func (g *Generator) hasGoodXFanin(gi int) bool {
+	for _, fi := range g.t.net.Gates[gi].Fanin {
+		if g.good[fi] == vX {
+			return true
+		}
+	}
+	return false
+}
+
+// badXObjective handles the frontier corner where no gate offers a
+// good-side X fan-in: the difference is alive but every unknown sits on
+// the faulty side (good values definite, bad values X — possible only
+// inside the fault cone). Any bad-X signal's unknown ultimately comes from
+// an unassigned primary input, reached by descending bad-X fan-ins until
+// the good side turns X again; justifying that signal (either value — both
+// get tried) resolves the faulty side and un-sticks the frontier.
+func (g *Generator) badXObjective(gi int) (gate int, val uint8, feasible bool) {
+	n := g.t.net
+	cur := gi
+	for steps := 0; steps < n.NumGates()+1; steps++ {
+		if g.good[cur] == vX {
+			return cur, v0, true
+		}
+		next := -1
+		for _, fi := range n.Gates[cur].Fanin {
+			if g.bad[fi] == vX {
+				next = fi
+				break
+			}
+		}
+		if next < 0 {
+			return 0, 0, false // defensive: a bad-X gate keeps a bad-X fan-in
+		}
+		cur = next
 	}
 	return 0, 0, false
 }
@@ -691,20 +784,28 @@ func (g *Generator) backtrace(gate int, val uint8) (piIdx int, piVal uint8, ok b
 
 // Result is the outcome of a full-circuit ATPG run.
 type Result struct {
+	// Cubes are the generated test cubes, in fault-index commit order.
 	Cubes *cube.Set
 	// Patterns are the fully specified patterns used for fault dropping
 	// (the cubes with X filled pseudorandomly), in cube order. Empty when
 	// FaultDrop is off.
 	Patterns [][]uint8
 	// Detected counts faults covered by the generated cubes (including
-	// fault-drop credit). Untestable counts faults PODEM proved redundant
-	// (decision space exhausted); Aborted counts faults abandoned at the
-	// backtrack limit — unlike untestables they still count against
-	// coverage.
-	Detected   int
+	// fault-drop credit).
+	Detected int
+	// Untestable counts faults PODEM proved redundant (decision space
+	// exhausted).
 	Untestable int
-	Aborted    int
-	Coverage   float64 // detected / (total - untestable)
+	// Aborted counts faults abandoned at the backtrack limit — unlike
+	// untestables they still count against coverage.
+	Aborted int
+	// Backtracks totals the chronological backtracks of every committed
+	// PODEM run — the decision-quality cost the Backtrace strategies
+	// compete on. Like every other counter it is independent of Workers
+	// (discarded speculative runs are excluded).
+	Backtracks int
+	// Coverage is detected / (total - untestable).
+	Coverage float64
 }
 
 // Options tunes RunAll.
@@ -716,6 +817,13 @@ type Options struct {
 	FillSeed uint64
 	// BacktrackLimit overrides the generator default when > 0.
 	BacktrackLimit int
+	// Backtrace selects the decision heuristic of every PODEM worker: the
+	// classic single-objective SCOAP backtrace (the zero value,
+	// BacktraceSCOAP) or the FAN/SOCRATES-style multiple backtrace
+	// (BacktraceMulti). Strategies produce different — but equally valid
+	// and fault-simulator-verified — cubes; within one strategy results
+	// stay bit-identical for any Workers value.
+	Backtrace Backtrace
 	// Workers parallelizes RunAll: cube generation runs speculatively on a
 	// pool of per-worker Generators over a sliding window of upcoming
 	// faults, and the fault-drop sweep of each committed 64-pattern batch
@@ -802,6 +910,7 @@ func (r *runner) newGenerator() *Generator {
 	if r.opt.BacktrackLimit > 0 {
 		g.BacktrackLimit = r.opt.BacktrackLimit
 	}
+	g.Strategy = r.opt.Backtrace
 	return g
 }
 
@@ -815,20 +924,22 @@ func (r *runner) runSerial() error {
 			continue
 		}
 		c, status := g.Generate(f)
-		if err := r.commit(fi, c, status); err != nil {
+		if err := r.commit(fi, c, status, g.Backtracks); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// specJob is one speculative PODEM run. The owning worker writes c and
-// status, then closes ready; the committer reads them only after <-ready.
+// specJob is one speculative PODEM run. The owning worker writes c, status
+// and backtracks, then closes ready; the committer reads them only after
+// <-ready.
 type specJob struct {
-	fi     int
-	c      cube.Cube
-	status Status
-	ready  chan struct{}
+	fi         int
+	c          cube.Cube
+	status     Status
+	backtracks int
+	ready      chan struct{}
 }
 
 // runPipelined overlaps PODEM with committing: a pool of per-worker
@@ -853,6 +964,7 @@ func (r *runner) runPipelined(workers int) error {
 			defer wg.Done()
 			for j := range jobs {
 				j.c, j.status = g.Generate(r.u.Faults[j.fi])
+				j.backtracks = g.Backtracks
 				close(j.ready)
 			}
 		}(g)
@@ -902,7 +1014,7 @@ func (r *runner) runPipelined(workers int) error {
 		if r.done[j.fi] || r.dropPending(j.fi) {
 			continue // dropped since dispatch: discard the speculation
 		}
-		if err := r.commit(j.fi, j.c, j.status); err != nil {
+		if err := r.commit(j.fi, j.c, j.status, j.backtracks); err != nil {
 			return err
 		}
 	}
@@ -924,7 +1036,8 @@ func (r *runner) dropPending(fi int) bool {
 }
 
 // commit applies one PODEM outcome in fault-index order.
-func (r *runner) commit(fi int, c cube.Cube, status Status) error {
+func (r *runner) commit(fi int, c cube.Cube, status Status, backtracks int) error {
+	r.res.Backtracks += backtracks
 	switch status {
 	case StatusUntestable:
 		r.res.Untestable++

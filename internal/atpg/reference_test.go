@@ -165,17 +165,36 @@ func (g *refGenerator) objective(f faultsim.Fault) (gate int, val uint8, feasibl
 	case f.Stuck:
 		return 0, 0, false // activation impossible under current assignment
 	}
-	best := -1
+	// Mirrors the event engine exactly, including the completeness corners:
+	// prefer the deepest gate that still has a good-X fan-in, and fall
+	// back to chasing the faulty-side unknowns when none has one.
+	best, bestAny := -1, -1
 	for _, gi := range g.dFrontier(f) {
 		if !g.xPathToOutput(gi) {
+			continue
+		}
+		if bestAny < 0 || g.t.level[gi] > g.t.level[bestAny] {
+			bestAny = gi
+		}
+		hasX := false
+		for _, fi := range g.t.net.Gates[gi].Fanin {
+			if g.good[fi] == vX {
+				hasX = true
+				break
+			}
+		}
+		if !hasX {
 			continue
 		}
 		if best < 0 || g.t.level[gi] > g.t.level[best] {
 			best = gi
 		}
 	}
-	if best < 0 {
+	if bestAny < 0 {
 		return 0, 0, false
+	}
+	if best < 0 {
+		return g.badXObjective(bestAny)
 	}
 	gate2 := &g.t.net.Gates[best]
 	nc, ok := nonControlling(gate2.Type)
@@ -186,6 +205,30 @@ func (g *refGenerator) objective(f faultsim.Fault) (gate int, val uint8, feasibl
 		if g.good[fi] == vX {
 			return fi, nc, true
 		}
+	}
+	return 0, 0, false
+}
+
+// badXObjective is the reference copy of the event engine's faulty-side
+// unknown chase (see Generator.badXObjective).
+func (g *refGenerator) badXObjective(gi int) (gate int, val uint8, feasible bool) {
+	n := g.t.net
+	cur := gi
+	for steps := 0; steps < n.NumGates()+1; steps++ {
+		if g.good[cur] == vX {
+			return cur, v0, true
+		}
+		next := -1
+		for _, fi := range n.Gates[cur].Fanin {
+			if g.bad[fi] == vX {
+				next = fi
+				break
+			}
+		}
+		if next < 0 {
+			return 0, 0, false
+		}
+		cur = next
 	}
 	return 0, 0, false
 }

@@ -23,6 +23,7 @@ func runAllPerPattern(u *faultsim.Universe, opt Options) (*Result, error) {
 	if opt.BacktrackLimit > 0 {
 		g.BacktrackLimit = opt.BacktrackLimit
 	}
+	g.Strategy = opt.Backtrace
 	sims, err := faultsim.NewSimulatorPool(u, 1)
 	if err != nil {
 		return nil, err
@@ -35,6 +36,7 @@ func runAllPerPattern(u *faultsim.Universe, opt Options) (*Result, error) {
 			continue
 		}
 		c, status := g.Generate(f)
+		res.Backtracks += g.Backtracks
 		switch status {
 		case StatusUntestable:
 			res.Untestable++
@@ -76,10 +78,11 @@ func runAllPerPattern(u *faultsim.Universe, opt Options) (*Result, error) {
 func diffResults(t *testing.T, label string, got, want *Result) {
 	t.Helper()
 	if got.Detected != want.Detected || got.Untestable != want.Untestable ||
-		got.Aborted != want.Aborted || got.Coverage != want.Coverage {
-		t.Fatalf("%s: counters (det %d, unt %d, abt %d, cov %v) != reference (det %d, unt %d, abt %d, cov %v)",
-			label, got.Detected, got.Untestable, got.Aborted, got.Coverage,
-			want.Detected, want.Untestable, want.Aborted, want.Coverage)
+		got.Aborted != want.Aborted || got.Coverage != want.Coverage ||
+		got.Backtracks != want.Backtracks {
+		t.Fatalf("%s: counters (det %d, unt %d, abt %d, bt %d, cov %v) != reference (det %d, unt %d, abt %d, bt %d, cov %v)",
+			label, got.Detected, got.Untestable, got.Aborted, got.Backtracks, got.Coverage,
+			want.Detected, want.Untestable, want.Aborted, want.Backtracks, want.Coverage)
 	}
 	if got.Cubes.Len() != want.Cubes.Len() {
 		t.Fatalf("%s: %d cubes, reference has %d", label, got.Cubes.Len(), want.Cubes.Len())
@@ -118,31 +121,35 @@ func runAllCircuits(t *testing.T) map[string]*netlist.Netlist {
 }
 
 // TestRunAllWorkersBitIdentical asserts the speculative pipeline's central
-// property: cubes, patterns and counters are bit-identical to the serial
-// per-pattern reference for any worker count. Run it with -race to check
-// the commit queue (CI does).
+// property for both backtrace strategies: cubes, patterns and counters are
+// bit-identical to the serial per-pattern reference for any worker count.
+// (The two strategies legitimately differ from each other; bit-identity
+// holds within a strategy.) Run it with -race to check the commit queue
+// (CI does).
 func TestRunAllWorkersBitIdentical(t *testing.T) {
 	for name, nl := range runAllCircuits(t) {
-		t.Run(name, func(t *testing.T) {
-			u := faultsim.NewUniverse(nl)
-			// The low backtrack limit keeps hard faults cheap (and exercises
-			// the aborted-commit path); it applies identically to the
-			// reference and every worker count.
-			opt := Options{FaultDrop: true, FillSeed: 99, BacktrackLimit: 40}
-			want, err := runAllPerPattern(u, opt)
-			if err != nil {
-				t.Fatal(err)
-			}
-			for _, workers := range []int{1, 2, 8, 0} {
-				o := opt
-				o.Workers = workers
-				got, err := RunAll(u, o)
+		for _, strategy := range []Backtrace{BacktraceSCOAP, BacktraceMulti} {
+			t.Run(fmt.Sprintf("%s/%v", name, strategy), func(t *testing.T) {
+				u := faultsim.NewUniverse(nl)
+				// The low backtrack limit keeps hard faults cheap (and
+				// exercises the aborted-commit path); it applies identically
+				// to the reference and every worker count.
+				opt := Options{FaultDrop: true, FillSeed: 99, BacktrackLimit: 40, Backtrace: strategy}
+				want, err := runAllPerPattern(u, opt)
 				if err != nil {
 					t.Fatal(err)
 				}
-				diffResults(t, fmt.Sprintf("workers=%d", workers), got, want)
-			}
-		})
+				for _, workers := range []int{1, 2, 8, 0} {
+					o := opt
+					o.Workers = workers
+					got, err := RunAll(u, o)
+					if err != nil {
+						t.Fatal(err)
+					}
+					diffResults(t, fmt.Sprintf("workers=%d", workers), got, want)
+				}
+			})
+		}
 	}
 }
 

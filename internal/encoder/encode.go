@@ -298,7 +298,7 @@ func (st *encodeState) scanTiers() (candidate, bool) {
 // scanCube probes every still-feasible position of one cube through a
 // worker's reduced view. Positions proven unsolvable are pruned for the
 // rest of this seed's construction (constraints only grow, so unsolvable
-// stays unsolvable — DESIGN.md item 1).
+// stays unsolvable).
 func (st *encodeState) scanCube(v *scanView, ci int, out *[]candidate) int64 {
 	feas := st.feasible[ci]
 	base, rhs := st.sys.base[ci], st.sys.rhs[ci]

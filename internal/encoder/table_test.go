@@ -12,7 +12,7 @@ import (
 )
 
 // TestDependenciesPositionInvariant pins the structural fact the whole
-// encoder-robustness story rests on (DESIGN.md §5 item 7): the coefficient
+// encoder-robustness story rests on: the coefficient
 // matrix of a cube's system at window position v is the position-0 matrix
 // right-multiplied by the invertible (T^{v·r})ᵀ, so linear dependencies
 // among a fixed set of slots are identical at every window position.

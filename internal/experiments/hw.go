@@ -20,7 +20,7 @@ type SkipCostPoint struct {
 
 // SkipCircuitSweep reproduces the paper's §4 State-Skip-circuit overhead
 // trend on the s13207 register (n=24 at paper scale): GE versus k, with and
-// without common-subexpression sharing (the CSE ablation of DESIGN.md §5).
+// without common-subexpression sharing (the CSE ablation).
 func (s *Session) SkipCircuitSweep(ks []int) ([]SkipCostPoint, error) {
 	p, err := benchprofile.ByName("s13207", s.Scale)
 	if err != nil {

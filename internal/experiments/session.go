@@ -3,7 +3,7 @@
 // a Markdown rendering; cmd/stateskip and the repository-level benchmarks
 // are thin wrappers around these drivers.
 //
-// The experiment index lives in DESIGN.md §4; measured-vs-paper values are
+// The experiment index lives in ARCHITECTURE.md §④; measured-vs-paper values are
 // recorded in EXPERIMENTS.md.
 package experiments
 
@@ -241,10 +241,12 @@ func (s *Session) ATPG(core *netlist.Netlist, fillSeed uint64) (*faultsim.Univer
 	return s.ATPGOpts(core, atpg.Options{FaultDrop: true, FillSeed: fillSeed})
 }
 
-// ATPGOpts is ATPG with caller-controlled options (backtrack limit, fault
-// dropping, fill seed). The session injects its Workers budget and the
-// cached shared Tables of the core, so repeated runs over one netlist pay
-// levelization and SCOAP once.
+// ATPGOpts is ATPG with caller-controlled options (backtrack limit,
+// backtrace strategy, fault dropping, fill seed). The session injects its
+// Workers budget and the cached shared Tables of the core, so repeated
+// runs over one netlist pay levelization and SCOAP once; everything else —
+// including Options.Backtrace, which cmd/stateskip's `atpg -backtrace`
+// flag rides through here — passes straight to atpg.RunAll.
 func (s *Session) ATPGOpts(core *netlist.Netlist, opt atpg.Options) (*faultsim.Universe, *atpg.Result, error) {
 	t, err := s.Tables(core)
 	if err != nil {

@@ -1,6 +1,6 @@
 // Package faultsim provides the single stuck-at fault universe and a
 // 64-way bit-parallel fault simulator over internal/netlist circuits — the
-// second half of the Atalanta substitute (DESIGN.md §2). The ATPG package
+// second half of the Atalanta substitute (ARCHITECTURE.md §①). The ATPG package
 // uses it to drop detected faults, and tests use it to confirm that every
 // cube the flow produces really detects its target fault.
 //

@@ -1,7 +1,7 @@
 // Package netlist models gate-level combinational circuits in the ISCAS
 // .bench dialect — the substrate under the ATPG flow (internal/atpg) and
 // fault simulator (internal/faultsim) that stand in for Atalanta in this
-// reproduction (DESIGN.md §2).
+// reproduction (ARCHITECTURE.md §①).
 //
 // A netlist is a DAG of single-output gates over named signals. Scan-based
 // sequential circuits are handled the standard way: flip-flop outputs

@@ -33,7 +33,7 @@ type Options struct {
 	// NaiveSelection labels useful segments directly from the encoder's
 	// deliberate assignments, ignoring fortuitous embeddings and skipping
 	// the set-A/set-B greedy cover — the ablation baseline for the paper's
-	// §3.2 selection procedure (DESIGN.md §5).
+	// §3.2 selection procedure (ARCHITECTURE.md §③).
 	NaiveSelection bool
 	// KeepFirstSegment forces segment 0 of every seed to be useful. The
 	// paper's Mode Select decoding optimisation assumes it (§3.3): the
@@ -385,7 +385,7 @@ type Run struct {
 // r clocks, exactly framed like the original window. A useless run of
 // `States` states is traversed with floor(States/k) State Skip clocks plus
 // States mod k Normal clocks, so the register lands *exactly* on the next
-// useful segment's boundary regardless of divisibility (DESIGN.md item 3).
+// useful segment's boundary regardless of divisibility.
 // The Bit Counter resets at every mode switch, so the garbage vectors of a
 // useless run amount to ceil(Clocks/r) — this is why the paper's Fig. 4
 // improvements keep growing all the way to k=24: long useless runs keep
