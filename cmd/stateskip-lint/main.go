@@ -1,0 +1,81 @@
+// Command stateskip-lint runs the repository's custom static-analysis
+// suite (internal/lint): detrange, frozentables, lockcheck and
+// nodetsource — the machine-checked determinism and concurrency
+// invariants behind the bit-identical-for-any-Workers guarantee.
+//
+// Usage:
+//
+//	stateskip-lint [-json] [packages]
+//
+// Packages default to ./... relative to the current module. The exit
+// status is 1 when any finding is reported, so CI can gate on it. With
+// -json, findings are emitted as a JSON array of
+// {file, line, col, analyzer, message} objects for machine consumers
+// (CI annotations, the planned stateskipd service).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+// jsonFinding is the machine-readable form of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: stateskip-lint [-json] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

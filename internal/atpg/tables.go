@@ -17,7 +17,10 @@ var tablesBuilt atomic.Uint64
 // (NewTables) and shared read-only by every Generator, mirroring the
 // Universe/Simulator split in internal/faultsim — a worker pool pays for
 // these structures once, and per-worker Generators are allocation-light
-// scratch state.
+// scratch state. The immutable-after-build contract is enforced by the
+// frozentables analyzer (internal/lint) via the marker below.
+//
+// lint:frozen
 type Tables struct {
 	net        *netlist.Netlist
 	order      []int // topological order (gate indices)

@@ -21,7 +21,12 @@ import (
 //
 // Tables is safe for concurrent use. EnsureLen returns immutable snapshots:
 // extension only appends cycles past every previously returned snapshot's
-// view, so outstanding readers are never invalidated.
+// view, so outstanding readers are never invalidated. The two regimes are
+// machine-checked (internal/lint): the decompressor identity below is
+// frozen after NewTables, and the mutable arena/cache state is only
+// touched under mu.
+//
+// lint:frozen
 type Tables struct {
 	l     *lfsr.LFSR
 	ps    *phaseshifter.PhaseShifter
@@ -30,14 +35,14 @@ type Tables struct {
 	words int
 
 	mu     sync.Mutex
-	sym    *lfsr.Symbolic
-	arena  []uint64 // (cycle, chain) expressions, cycle-major
-	cycles int      // symbolic cycles materialised so far
+	sym    *lfsr.Symbolic // guarded by mu
+	arena  []uint64       // guarded by mu; (cycle, chain) expressions, cycle-major
+	cycles int            // guarded by mu; symbolic cycles materialised so far
 	// Single-slot system-index cache: re-encodes of one set (benchmark
 	// loops, sweeps over L) hit it, while Tables held in process-lifetime
 	// caches never pin more than the last set encoded.
-	lastSet *cube.Set
-	lastSys *systemIndex
+	lastSet *cube.Set     // guarded by mu
+	lastSys *systemIndex  // guarded by mu
 }
 
 // NewTables validates the decompressor wiring and returns empty shared
@@ -155,7 +160,7 @@ func newSystemIndex(set *cube.Set, geo scan.Geometry) *systemIndex {
 // with explicit LFSR/PS plus Config.Tables) gets cross-L prefix reuse.
 type TablesCache struct {
 	mu sync.Mutex
-	m  map[tabKey]*tabSlot
+	m  map[tabKey]*tabSlot // guarded by mu
 }
 
 type tabKey struct {

@@ -108,10 +108,10 @@ type Session struct {
 	EncTables *encoder.TablesCache
 
 	mu   sync.Mutex
-	sets map[string]*memo[*cube.Set]
-	encs map[encKey]*memo[*encoder.Encoding]
-	idxs map[encKey]*memo[*stateskip.VecEmbeddings]
-	tabs map[*netlist.Netlist]*memo[*atpg.Tables]
+	sets map[string]*memo[*cube.Set]                // guarded by mu
+	encs map[encKey]*memo[*encoder.Encoding]        // guarded by mu
+	idxs map[encKey]*memo[*stateskip.VecEmbeddings] // guarded by mu
+	tabs map[*netlist.Netlist]*memo[*atpg.Tables]   // guarded by mu
 }
 
 type encKey struct {

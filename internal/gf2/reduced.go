@@ -9,7 +9,11 @@ import (
 // contiguous word arena: row i occupies arena words [i·words, (i+1)·words).
 // Symbolic expression tables (one row per decompressor output slot) hand
 // their arena to a RowSet so solvers can address equations by row index
-// instead of materialised Equation values.
+// instead of materialised Equation values. Row sets are shared read-only
+// across concurrent scanner views; the frozentables analyzer
+// (internal/lint) rejects any write through a RowSet.
+//
+// lint:frozen
 type RowSet struct {
 	n     int
 	words int

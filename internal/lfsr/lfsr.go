@@ -53,8 +53,8 @@ type LFSR struct {
 	coeffs gf2.Vec // coeffs.Bit(i) = coefficient of x^i, i in [0,n); x^n implied
 	t      gf2.Mat // transition matrix: next = t·state
 
-	mu    sync.Mutex         // guards skips
-	skips map[uint64]gf2.Mat // memoized T^k per speedup factor k
+	mu    sync.Mutex
+	skips map[uint64]gf2.Mat // guarded by mu; memoized T^k per speedup factor k
 }
 
 // New builds an LFSR of size n with the given characteristic polynomial

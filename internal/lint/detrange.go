@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetPackages lists the deterministic pipeline packages: everything
+// between netlist in and rendered tables out must produce bit-identical
+// results for any Workers value, so detrange and nodetsource apply only
+// here.
+var DetPackages = []string{
+	"repro/internal/atpg",
+	"repro/internal/encoder",
+	"repro/internal/faultsim",
+	"repro/internal/experiments",
+	"repro/internal/stateskip",
+}
+
+// inDetScope reports whether an import path belongs to the deterministic
+// pipeline.
+func inDetScope(path string) bool {
+	for _, p := range DetPackages {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// DetRange flags `range` statements over maps whose loop bodies have
+// order-dependent effects — Go randomizes map iteration order, so such
+// loops silently break the pipeline's bit-identical-output guarantee.
+//
+// Flagged effect classes: appending to an outer slice with no subsequent
+// sort of that slice in the same block (the collect-then-sort idiom is
+// clean), writing output (fmt.Print/Fprint, Write* methods, channel
+// sends), non-associative accumulation into outer variables (float,
+// complex or string compound assignment), unconditionally overwriting an
+// outer variable with a value derived from the iteration variables
+// ("last iteration wins"), and returning a value derived from the
+// iteration variables ("first iteration wins"). Conditional selection
+// with explicit tie-breaking (argmin/argmax patterns) is not flagged:
+// a total tie-break makes the result order-independent.
+var DetRange = &Analyzer{
+	Name: "detrange",
+	Doc:  "flags map iteration with order-dependent effects in the deterministic pipeline packages",
+	Run:  runDetRange,
+}
+
+func runDetRange(pass *Pass) error {
+	if !inDetScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rs, stack)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange reports every order-dependent effect in the body of one
+// map-range statement.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	iterVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				iterVars[obj] = true
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				iterVars[obj] = true
+			}
+		}
+	}
+	isOuter := func(id *ast.Ident) (types.Object, bool) {
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			obj = pass.Info.Defs[id]
+		}
+		if obj == nil || iterVars[obj] {
+			return nil, false
+		}
+		// Declared inside the loop body → per-iteration state, harmless.
+		if obj.Pos() >= rs.Body.Pos() && obj.Pos() < rs.Body.End() {
+			return nil, false
+		}
+		return obj, true
+	}
+	usesIterVar := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && iterVars[pass.Info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	walkStack(rs.Body, func(n ast.Node, inner []ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, stack, s, inner, isOuter, usesIterVar)
+		case *ast.SendStmt:
+			pass.Reportf(s.Pos(), "channel send inside map iteration: receive order depends on map order")
+		case *ast.CallExpr:
+			checkOutputCall(pass, s)
+		case *ast.ReturnStmt:
+			for _, res := range s.Results {
+				if usesIterVar(res) {
+					pass.Reportf(s.Pos(), "returning an iteration-dependent value from inside map iteration picks an arbitrary element")
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign classifies one assignment inside a map-range body.
+func checkAssign(pass *Pass, rs *ast.RangeStmt, stack []ast.Node, s *ast.AssignStmt,
+	inner []ast.Node, isOuter func(*ast.Ident) (types.Object, bool), usesIterVar func(ast.Expr) bool) {
+	for i, lhs := range s.Lhs {
+		// Unsorted collection: x = append(x, ...) into an outer slice.
+		if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+			if i < len(s.Rhs) {
+				if call, ok := s.Rhs[i].(*ast.CallExpr); ok && isBuiltin(pass, call, "append") {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj, outer := isOuter(id); outer && !sortedAfter(pass, rs, stack, obj) {
+							pass.Reportf(s.Pos(), "appending to %s in map-iteration order without sorting it afterwards", id.Name)
+						}
+					}
+					continue
+				}
+			}
+		}
+		id, isIdent := lhs.(*ast.Ident)
+		var obj types.Object
+		var outer bool
+		if isIdent {
+			obj, outer = isOuter(id)
+		} else if sel, fsel := rootField(pass, lhs); sel != nil {
+			if base, ok := sel.X.(*ast.Ident); ok {
+				_, outer = isOuter(base)
+				obj = fsel.Obj()
+			}
+		}
+		if !outer || obj == nil {
+			continue
+		}
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if nonAssociative(obj.Type()) {
+				pass.Reportf(s.Pos(), "%s accumulation of %s over map iteration is order-dependent for %s",
+					s.Tok, obj.Name(), obj.Type())
+			}
+		case token.ASSIGN:
+			// Plain overwrite of an outer variable with iteration-derived
+			// data, not nested under a condition: the arbitrary final
+			// iteration wins. Conditional argmin/argmax updates are fine
+			// when their tie-break is total, so they are not flagged.
+			if _, isIndexed := lhs.(*ast.IndexExpr); isIndexed {
+				break // keyed writes commute across distinct keys
+			}
+			if i < len(s.Rhs) && usesIterVar(s.Rhs[i]) && !underCondition(inner, rs.Body) {
+				pass.Reportf(s.Pos(), "unconditional overwrite of %s with an iteration-dependent value: the arbitrary last element wins", obj.Name())
+			}
+		}
+	}
+}
+
+// checkOutputCall flags print/write calls whose emission order would
+// follow map order.
+func checkOutputCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
+		if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" && fn.Type().(*types.Signature).Recv() == nil {
+			pass.Reportf(call.Pos(), "fmt.%s inside map iteration emits output in map order", fn.Name())
+			return
+		}
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		pass.Reportf(call.Pos(), "%s call inside map iteration writes output in map order", sel.Sel.Name)
+	}
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := pass.Info.Uses[id].(*types.Builtin)
+	return isB
+}
+
+// nonAssociative reports whether compound accumulation over t depends on
+// operand order: floating point and complex arithmetic are not
+// associative, string += concatenates in sequence. Integer rings are
+// commutative and associative (mod 2^w), so int counters are fine.
+func nonAssociative(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return true // be conservative about exotic types
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex|types.IsString) != 0
+}
+
+// underCondition reports whether the innermost statements enclosing the
+// current node (up to, not including, the loop body) contain an if or
+// switch — i.e. the assignment only happens for elements passing a test.
+func underCondition(stack []ast.Node, body *ast.BlockStmt) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			return true
+		}
+		if stack[i] == body {
+			return false
+		}
+	}
+	return false
+}
+
+// sortedAfter reports whether, in the block directly enclosing the range
+// statement, a later statement passes the collected slice to a sort
+// function — the standard deterministic-iteration idiom:
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m { keys = append(keys, k) }
+//	sort.Slice(keys, ...)
+func sortedAfter(pass *Pass, rs *ast.RangeStmt, stack []ast.Node, obj types.Object) bool {
+	var block *ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			block = b
+			break
+		}
+	}
+	if block == nil {
+		return false
+	}
+	after := false
+	for _, stmt := range block.List {
+		if stmt == ast.Stmt(rs) {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		if stmtSorts(pass, stmt, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmtSorts reports whether stmt calls a sort/slices ordering function
+// with obj among its arguments.
+func stmtSorts(pass *Pass, stmt ast.Stmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// A Package is one loaded, type-checked target of an analysis run.
+type Package struct {
+	// ImportPath is the package's import path (the fixture path for
+	// fixture loads).
+	ImportPath string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Fset maps positions of Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info records the type-checker's facts for Files.
+	Info *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` in dir over the given
+// patterns and returns the decoded package records (targets and their
+// whole dependency closure).
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from `go list -export` build-cache
+// export data, so target packages can be type-checked from source
+// without compiling their dependency closure a second time.
+type exportImporter struct {
+	exports map[string]string // import path → export data file
+}
+
+// lookup opens the export data of one dependency.
+func (e *exportImporter) lookup(path string) (io.ReadCloser, error) {
+	f, ok := e.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(f)
+}
+
+// newChecker builds a types.Config + empty Info pair over the shared
+// export map.
+func newChecker(fset *token.FileSet, exp *exportImporter) (types.Config, *types.Info) {
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", exp.lookup)}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	return conf, info
+}
+
+// Load type-checks every package matching patterns (e.g. "./...")
+// relative to dir, which must lie inside a module. Dependencies are
+// imported from export data; only the matched targets are parsed from
+// source and returned.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exp := &exportImporter{exports: make(map[string]string)}
+	for _, p := range listed {
+		if p.Export != "" {
+			exp.exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		conf, info := newChecker(fset, exp)
+		pkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %v", p.ImportPath, err)
+		}
+		out = append(out, &Package{
+			ImportPath: p.ImportPath,
+			Dir:        p.Dir,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			Info:       info,
+		})
+	}
+	return out, nil
+}
+
+// LoadFixture type-checks the single package rooted at dir (a testdata
+// fixture, outside any module) under the given import path. Imports are
+// resolved via `go list -export` run from modDir, so fixtures may import
+// the standard library freely.
+func LoadFixture(modDir, dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := make(map[string]bool)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			imports[path] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in fixture %s", dir)
+	}
+	exp := &exportImporter{exports: make(map[string]string)}
+	if len(imports) > 0 {
+		patterns := make([]string, 0, len(imports))
+		for p := range imports {
+			patterns = append(patterns, p)
+		}
+		listed, err := goList(modDir, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exp.exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	conf, info := newChecker(fset, exp)
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking fixture %s: %v", dir, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}
+
+// ModuleRoot returns the root directory of the module containing dir by
+// walking up to the nearest go.mod.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}

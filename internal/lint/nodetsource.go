@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoDetSource forbids nondeterministic inputs inside the deterministic
+// pipeline packages: wall-clock reads (time.Now), environment reads
+// (os.Getenv, os.LookupEnv, os.Environ) and the globally seeded
+// math/rand / math/rand/v2 top-level functions. Explicitly seeded
+// generators (rand.New(rand.NewSource(seed)) and *rand.Rand methods) are
+// fine — the pipelines use internal/prng for exactly that. One narrow
+// exemption keeps wall-clock metrics legal: a time.Now result whose
+// every use is measuring a duration (time.Since(t) or t.Sub/u.Sub(t))
+// never influences pipeline output, so it is not flagged.
+var NoDetSource = &Analyzer{
+	Name: "nodetsource",
+	Doc:  "flags wall-clock, environment and global-PRNG reads in the deterministic pipeline packages",
+	Run:  runNoDetSource,
+}
+
+func runNoDetSource(pass *Pass) error {
+	if !inDetScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkDetSources(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkDetSources scans one function for nondeterministic inputs.
+func checkDetSources(pass *Pass, fd *ast.FuncDecl) {
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return true // methods (e.g. *rand.Rand) are explicitly seeded
+		}
+		switch fn.Pkg().Path() {
+		case "os":
+			switch fn.Name() {
+			case "Getenv", "LookupEnv", "Environ":
+				pass.Reportf(call.Pos(), "os.%s in a deterministic pipeline package: output must not depend on the environment", fn.Name())
+			}
+		case "time":
+			if fn.Name() == "Now" && !metricOnly(pass, fd, call, stack) {
+				pass.Reportf(call.Pos(), "time.Now in a deterministic pipeline package: wall clock may only feed duration metrics (time.Since/Sub)")
+			}
+		case "math/rand", "math/rand/v2":
+			if !strings.HasPrefix(fn.Name(), "New") {
+				pass.Reportf(call.Pos(), "%s.%s uses the global random source: use a seeded generator (internal/prng) instead",
+					fn.Pkg().Name(), fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves the called package-level function, if any.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch f := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[f.Sel].(*types.Func)
+		return fn
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[f].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// metricOnly reports whether a time.Now call only measures durations:
+// either it is consumed directly by time.Since / .Sub, or it is bound to
+// a variable whose every use in the function is an argument of
+// time.Since or an operand of a Time.Sub call.
+func metricOnly(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	parent := stack[len(stack)-1]
+	if isDurationUse(pass, parent, call) {
+		return true
+	}
+	// Bound to a variable? Require `t := time.Now()` / `t = time.Now()`
+	// with a single LHS identifier.
+	asn, ok := parent.(*ast.AssignStmt)
+	if !ok || len(asn.Lhs) != 1 || len(asn.Rhs) != 1 || asn.Rhs[0] != ast.Expr(call) {
+		return false
+	}
+	id, ok := asn.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.Defs[id]
+	if obj == nil {
+		obj = pass.Info.Uses[id]
+	}
+	if obj == nil {
+		return false
+	}
+	clean := true
+	walkStack(fd.Body, func(n ast.Node, inner []ast.Node) bool {
+		use, ok := n.(*ast.Ident)
+		if !ok || pass.Info.Uses[use] != obj || len(inner) == 0 {
+			return true
+		}
+		if inner[len(inner)-1] == ast.Node(asn) {
+			return true // the binding assignment itself
+		}
+		if !isDurationUse(pass, inner[len(inner)-1], use) {
+			clean = false
+		}
+		return clean
+	})
+	return clean
+}
+
+// isDurationUse reports whether parent consumes child as a duration
+// measurement: time.Since(child), x.Sub(child), or child.Sub(x).
+func isDurationUse(pass *Pass, parent ast.Node, child ast.Node) bool {
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		fn := calleeFunc(pass, p)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Since" {
+			for _, a := range p.Args {
+				if a == child {
+					return true
+				}
+			}
+		}
+		// x.Sub(child)
+		if sel, ok := p.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sub" {
+			for _, a := range p.Args {
+				if a == child {
+					return true
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		// child.Sub(...) — child is the receiver of a Sub call.
+		return p.X == child && p.Sel.Name == "Sub"
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+// Package detrange seeds violations and clean cases for the detrange
+// analyzer. It is loaded under a deterministic-pipeline import path by
+// the fixture harness.
+package detrange
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `appending to keys in map-iteration order without sorting`
+	}
+	return keys
+}
+
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // clean: sorted below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt.Printf inside map iteration`
+	}
+}
+
+func dump(m map[string]int, f *os.File) {
+	for k := range m {
+		f.WriteString(k) // want `WriteString call inside map iteration`
+	}
+}
+
+func emit(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration`
+	}
+}
+
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `accumulation of total over map iteration is order-dependent`
+	}
+	return total
+}
+
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // clean: integer addition commutes
+	}
+	return total
+}
+
+func countAll(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ // clean
+	}
+	return n
+}
+
+func pickAny(m map[string]int) string {
+	var chosen string
+	for k := range m {
+		chosen = k // want `unconditional overwrite of chosen`
+	}
+	return chosen
+}
+
+func pickMax(m map[string]int) string {
+	best, bestV := "", -1
+	for k, v := range m {
+		if v > bestV || (v == bestV && k < best) {
+			best, bestV = k, v // clean: total tie-break
+		}
+	}
+	return best
+}
+
+func first(m map[string]int) string {
+	for k := range m {
+		return k // want `returning an iteration-dependent value`
+	}
+	return ""
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k // clean: keyed writes commute across distinct keys
+	}
+	return out
+}
+
+func perItem(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		s := 0
+		for _, v := range vs {
+			s += v
+		}
+		total += s // clean: int accumulation
+	}
+	return total
+}

@@ -1,0 +1,56 @@
+// Package nodet seeds violations and clean cases for the nodetsource
+// analyzer. It is loaded under a deterministic-pipeline import path by
+// the fixture harness.
+package nodet
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func work() {}
+
+func Jitter() int {
+	return rand.Intn(10) // want `rand.Intn uses the global random source`
+}
+
+func Shuffled(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle uses the global random source`
+}
+
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // clean: explicitly seeded
+	return r.Intn(10)                   // clean: method on seeded generator
+}
+
+func Env() string {
+	return os.Getenv("HOME") // want `os.Getenv in a deterministic pipeline package`
+}
+
+func Hostname() (string, error) {
+	return os.Hostname() // clean: not an environment read we forbid
+}
+
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in a deterministic pipeline package`
+}
+
+func Metric() time.Duration {
+	t0 := time.Now() // clean: duration metric only
+	work()
+	return time.Since(t0)
+}
+
+func MetricSub() time.Duration {
+	t0 := time.Now() // clean: consumed by Sub only
+	work()
+	t1 := time.Now() // clean: receiver of Sub only
+	return t1.Sub(t0)
+}
+
+func Leak() time.Time {
+	t0 := time.Now() // want `time.Now in a deterministic pipeline package`
+	_ = time.Since(t0)
+	return t0
+}

@@ -143,10 +143,10 @@ type Netlist struct {
 	byName  map[string]int
 
 	mu        sync.Mutex
-	order     []int   // topological order (gate indices), nil until Levelize
-	fanouts   [][]int // per-gate fan-out lists, nil until Fanouts
-	levels    []int   // per-gate longest path from an input, nil until Levels
-	numLevels int
+	order     []int   // guarded by mu; topological order (gate indices), nil until Levelize
+	fanouts   [][]int // guarded by mu; per-gate fan-out lists, nil until Fanouts
+	levels    []int   // guarded by mu; per-gate longest path from an input, nil until Levels
+	numLevels int     // guarded by mu
 }
 
 // New returns an empty netlist.
@@ -167,12 +167,19 @@ func (n *Netlist) AddInput(name string) (int, error) {
 	return idx, nil
 }
 
-// invalidate drops the derived caches after a structural mutation.
+// invalidate drops the derived caches after a structural mutation. It
+// takes the cache mutex itself (no builder holds it), so a mutation
+// racing a concurrent Levelize/Fanouts/Levels reader corrupts nothing —
+// the reader sees either the old caches or the cleared ones, never a
+// torn mix. Interleaving builds with reads is still a logic error, but
+// it now fails loudly (stale-table checks) instead of via data races.
 func (n *Netlist) invalidate() {
+	n.mu.Lock()
 	n.order = nil
 	n.fanouts = nil
 	n.levels = nil
 	n.numLevels = 0
+	n.mu.Unlock()
 }
 
 // AddGate declares a gate driven by existing signals and returns its index.
@@ -230,10 +237,13 @@ func (n *Netlist) NumGates() int { return len(n.Gates) }
 func (n *Netlist) Levelize() ([]int, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.levelize()
+	return n.levelizeLocked()
 }
 
-func (n *Netlist) levelize() ([]int, error) {
+// levelizeLocked computes the cached topological order; callers must
+// hold n.mu (the Locked suffix is the convention the lockcheck analyzer
+// trusts).
+func (n *Netlist) levelizeLocked() ([]int, error) {
 	if n.order != nil {
 		return n.order, nil
 	}
@@ -298,7 +308,7 @@ func (n *Netlist) Levels() ([]int, int, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.levels == nil {
-		order, err := n.levelize()
+		order, err := n.levelizeLocked()
 		if err != nil {
 			return nil, 0, err
 		}
