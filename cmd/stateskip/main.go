@@ -22,15 +22,20 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/benchprofile"
+	"repro/internal/cube"
 	"repro/internal/encoder"
 	"repro/internal/experiments"
 	"repro/internal/lfsr"
@@ -48,13 +53,27 @@ import (
 var encTables = encoder.NewTablesCache()
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// First ^C cancels the context: every engine (ATPG pipeline, encoder
+	// candidate scan, fault-simulator pool) polls it cooperatively, so the
+	// subcommand stops cleanly, reports partial progress where it has any,
+	// and exits non-zero. Once the context fires, stop() unregisters the
+	// handler, so a second ^C hard-exits through Go's default behaviour.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "stateskip:", err)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "stateskip: interrupted — partial results above, if any")
+		}
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("stateskip", flag.ContinueOnError)
 	scaleFlag := fs.String("scale", scaleFromEnv(), "experiment scale: ci or paper")
 	workersFlag := fs.Int("workers", 0, "worker goroutines for experiments, ATPG and fault simulation (0 = all CPUs)")
@@ -94,13 +113,13 @@ func run(args []string) error {
 	cmd, rest := fs.Arg(0), fs.Args()[1:]
 	switch cmd {
 	case "table1", "table2", "table3", "table4", "fig4", "hw", "soc", "all":
-		return runExperiments(scale, *workersFlag, cmd)
+		return runExperiments(ctx, scale, *workersFlag, cmd)
 	case "gen":
 		return runGen(scale, rest)
 	case "encode":
-		return runEncode(scale, rest)
+		return runEncode(ctx, scale, rest)
 	case "atpg":
-		return runATPG(scale, *workersFlag, rest)
+		return runATPG(ctx, scale, *workersFlag, rest)
 	case "verilog":
 		return runVerilog(rest)
 	default:
@@ -127,9 +146,10 @@ func scaleFromEnv() string {
 	return "ci"
 }
 
-func runExperiments(scale benchprofile.Scale, workers int, which string) error {
+func runExperiments(ctx context.Context, scale benchprofile.Scale, workers int, which string) error {
 	s := experiments.NewSession(scale)
 	s.Workers = workers
+	s.Ctx = ctx // ^C aborts the drivers mid-sweep (see main)
 	start := time.Now()
 	do := func(name string, f func() error) error {
 		if which != "all" && which != name {
@@ -242,7 +262,7 @@ func runGen(scale benchprofile.Scale, args []string) error {
 	return set.Write(w)
 }
 
-func runEncode(scale benchprofile.Scale, args []string) error {
+func runEncode(ctx context.Context, scale benchprofile.Scale, args []string) error {
 	fs := flag.NewFlagSet("encode", flag.ContinueOnError)
 	circuit := fs.String("circuit", "s13207", "profile name")
 	L := fs.Int("L", 0, "window length (default: scale-dependent)")
@@ -274,7 +294,7 @@ func runEncode(scale benchprofile.Scale, args []string) error {
 	fmt.Printf("%s: %d cubes, width %d, s_max %d, %d specified bits\n",
 		*circuit, st.Cubes, st.Width, st.MaxSpecified, st.TotalSpecified)
 	t0 := time.Now()
-	enc, variant, err := encoder.EncodeAutoCached(p.LFSRSize, p.Width, p.Chains, *L, set, 0, encTables)
+	enc, variant, err := encoder.EncodeAutoCtx(ctx, p.LFSRSize, p.Width, p.Chains, *L, set, 0, encTables)
 	if err != nil {
 		return err
 	}
@@ -293,7 +313,7 @@ func runEncode(scale benchprofile.Scale, args []string) error {
 
 // runATPG generates test cubes for a gate-level core: either a .bench
 // netlist supplied with -bench, or a deterministic random circuit.
-func runATPG(scale benchprofile.Scale, workers int, args []string) error {
+func runATPG(ctx context.Context, scale benchprofile.Scale, workers int, args []string) error {
 	fs := flag.NewFlagSet("atpg", flag.ContinueOnError)
 	bench := fs.String("bench", "", ".bench netlist (default: generated random core)")
 	inputs := fs.Int("inputs", 80, "inputs of the generated core")
@@ -338,24 +358,34 @@ func runATPG(scale benchprofile.Scale, workers int, args []string) error {
 		st.Inputs, st.Outputs, st.Gates, st.Levels)
 	s := experiments.NewSession(scale)
 	s.Workers = workers
-	u, res, err := s.ATPGOpts(core, atpg.Options{
+	writeCubes := func(cs *cube.Set) error {
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		return cs.Write(w)
+	}
+	u, res, err := s.ATPGOptsCtx(ctx, core, atpg.Options{
 		FaultDrop: true, FillSeed: *seed, BacktrackLimit: *backtrack, Backtrace: strategy,
 	})
 	if err != nil {
+		if res != nil { // interrupted mid-run: report + keep the partial progress
+			fmt.Fprintf(os.Stderr, "ATPG interrupted: %d/%d faults processed, %d cubes, coverage so far %.1f%%\n",
+				res.Detected+res.Untestable+res.Aborted, len(u.Faults), res.Cubes.Len(), res.Coverage*100)
+			if werr := writeCubes(res.Cubes); werr != nil {
+				return fmt.Errorf("%w (and writing partial cubes failed: %v)", err, werr)
+			}
+		}
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "ATPG (%v backtrace): %d faults, %d untestable, %d aborted, %d cubes, %d backtracks, coverage %.1f%%\n",
 		strategy, len(u.Faults), res.Untestable, res.Aborted, res.Cubes.Len(), res.Backtracks, res.Coverage*100)
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	return res.Cubes.Write(w)
+	return writeCubes(res.Cubes)
 }
 
 func runVerilog(args []string) error {

@@ -24,6 +24,7 @@
 package atpg
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -119,6 +120,16 @@ type Generator struct {
 	// marks), allocated on the first BacktraceMulti decision.
 	mb *multiScratch
 
+	// Ctx, when non-nil, makes Generate cooperatively cancellable: the
+	// context is polled once every cancelCheckStride decision-loop
+	// iterations (amortized — the overhead is unmeasurable, and an
+	// uncancelled run is bit-identical to one without a context). A
+	// cancelled Generate abandons its fault with StatusCanceled.
+	Ctx context.Context
+
+	// ctxTick counts decision-loop iterations since the last context poll.
+	ctxTick int
+
 	// implyHook, when non-nil, runs after every completed implication
 	// (begin and each assign). The differential tests install it to compare
 	// the incremental good/bad state against a full re-simulation.
@@ -161,6 +172,9 @@ const (
 	StatusUntestable
 	// StatusAborted: the backtrack limit was hit before a proof either way.
 	StatusAborted
+	// StatusCanceled: the Generator's Ctx was cancelled mid-run; the fault
+	// was abandoned without a verdict. Never produced without a context.
+	StatusCanceled
 )
 
 // String names the status for logs and error messages.
@@ -172,6 +186,8 @@ func (s Status) String() string {
 		return "untestable"
 	case StatusAborted:
 		return "aborted"
+	case StatusCanceled:
+		return "canceled"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -186,6 +202,10 @@ func (g *Generator) Generate(f faultsim.Fault) (cube.Cube, Status) {
 	g.Backtracks = 0
 
 	for {
+		if g.canceled() {
+			g.decisions = stack
+			return cube.Cube{}, StatusCanceled
+		}
 		if g.detected() {
 			c := cube.New(len(n.Inputs))
 			for ii, gi := range n.Inputs {
@@ -235,6 +255,27 @@ func (g *Generator) Generate(f faultsim.Fault) (cube.Cube, Status) {
 		stack = append(stack, decision{input: piIdx, value: piVal, forced: forced, mark: len(g.trail)})
 		g.assign(piIdx, piVal)
 	}
+}
+
+// cancelCheckStride is how many decision-loop iterations pass between
+// context polls. Each iteration does at least one objective/backtrace walk
+// (hundreds of ns), so polling every 256 iterations keeps cancellation
+// latency in the tens of microseconds while the amortized poll cost stays
+// below measurement noise.
+const cancelCheckStride = 256
+
+// canceled polls the generator's context, amortized over
+// cancelCheckStride decision-loop iterations.
+func (g *Generator) canceled() bool {
+	if g.Ctx == nil {
+		return false
+	}
+	g.ctxTick++
+	if g.ctxTick < cancelCheckStride {
+		return false
+	}
+	g.ctxTick = 0
+	return g.Ctx.Err() != nil
 }
 
 // begin resets the engine for one fault: all values X, the fault injected,
@@ -850,6 +891,18 @@ type Options struct {
 // loop, which this replaces bit for bit at a fraction of the simulation
 // work.
 func RunAll(u *faultsim.Universe, opt Options) (*Result, error) {
+	return RunAllCtx(context.Background(), u, opt)
+}
+
+// RunAllCtx is RunAll with cooperative cancellation: the context is polled
+// at every fault boundary and, amortized, inside each PODEM run, so a
+// cancel or deadline takes effect within microseconds of the engines
+// noticing it. A cancelled run returns the partial Result accumulated so
+// far (counters and cubes for every fault committed before the cancel,
+// coverage computed over the full universe) alongside an error wrapping
+// context.Canceled or context.DeadlineExceeded. An uncancelled run is
+// bit-identical to RunAll.
+func RunAllCtx(ctx context.Context, u *faultsim.Universe, opt Options) (*Result, error) {
 	tables := opt.Tables
 	if tables == nil {
 		t, err := NewTables(u.Net)
@@ -868,6 +921,7 @@ func RunAll(u *faultsim.Universe, opt Options) (*Result, error) {
 		return nil, err
 	}
 	r := &runner{
+		ctx:    ctx,
 		u:      u,
 		opt:    opt,
 		tables: tables,
@@ -881,11 +935,17 @@ func RunAll(u *faultsim.Universe, opt Options) (*Result, error) {
 	} else {
 		err = r.runSerial()
 	}
-	if err != nil {
-		return nil, err
-	}
 	if den := len(u.Faults) - r.res.Untestable; den > 0 {
 		r.res.Coverage = float64(r.res.Detected) / float64(den)
+	}
+	if err != nil {
+		if ctx.Err() != nil {
+			// Cancelled or deadline-exceeded: hand back the partial progress
+			// with a typed (errors.Is-able) error instead of garbage.
+			return r.res, fmt.Errorf("atpg: run stopped after %d/%d faults: %w",
+				r.res.Detected+r.res.Untestable+r.res.Aborted, len(u.Faults), ctx.Err())
+		}
+		return nil, err
 	}
 	return r.res, nil
 }
@@ -895,6 +955,7 @@ func RunAll(u *faultsim.Universe, opt Options) (*Result, error) {
 // their own job slots — so the done evolution, the FillSeed stream and
 // every counter advance in fault-index order regardless of scheduling.
 type runner struct {
+	ctx    context.Context
 	u      *faultsim.Universe
 	opt    Options
 	tables *Tables
@@ -911,6 +972,7 @@ func (r *runner) newGenerator() *Generator {
 		g.BacktrackLimit = r.opt.BacktrackLimit
 	}
 	g.Strategy = r.opt.Backtrace
+	g.Ctx = r.ctx
 	return g
 }
 
@@ -920,10 +982,16 @@ func (r *runner) newGenerator() *Generator {
 func (r *runner) runSerial() error {
 	g := r.newGenerator()
 	for fi, f := range r.u.Faults {
+		if err := r.ctx.Err(); err != nil {
+			return err
+		}
 		if r.done[fi] || r.dropPending(fi) {
 			continue
 		}
 		c, status := g.Generate(f)
+		if status == StatusCanceled {
+			return r.ctx.Err()
+		}
 		if err := r.commit(fi, c, status, g.Backtracks); err != nil {
 			return err
 		}
@@ -1004,6 +1072,11 @@ func (r *runner) runPipelined(workers int) error {
 		wg.Wait()
 	}()
 	for {
+		if err := r.ctx.Err(); err != nil {
+			// The deferred drain lets every in-flight Generate notice the
+			// same context and stop; no goroutine outlives the call.
+			return err
+		}
 		dispatch()
 		if len(window) == 0 {
 			return nil
@@ -1011,6 +1084,9 @@ func (r *runner) runPipelined(workers int) error {
 		j := window[0]
 		window = window[1:]
 		<-j.ready
+		if j.status == StatusCanceled {
+			return r.ctx.Err()
+		}
 		if r.done[j.fi] || r.dropPending(j.fi) {
 			continue // dropped since dispatch: discard the speculation
 		}
@@ -1072,7 +1148,7 @@ func (r *runner) commit(fi int, c cube.Cube, status Status, backtracks int) erro
 		return err
 	}
 	if r.sims[0].PatternCount() == 64 {
-		r.sweep()
+		return r.sweep()
 	}
 	return nil
 }
@@ -1080,11 +1156,15 @@ func (r *runner) commit(fi int, c cube.Cube, status Status, backtracks int) erro
 // sweep runs the accumulated full-width batch against every remaining
 // fault, sharded across the simulator pool, and starts a fresh batch. No
 // flush is needed after the last fault: every fault has been committed or
-// dropped by then, so a final sweep could not mark anything new.
-func (r *runner) sweep() {
+// dropped by then, so a final sweep could not mark anything new. A
+// cancelled sweep returns the context error; its partial done marks are
+// all genuine detections, so the partial Result stays truthful.
+func (r *runner) sweep() error {
 	for _, s := range r.sims[1:] {
 		s.AdoptPatterns(r.sims[0])
 	}
-	r.res.Detected += faultsim.DetectAll(r.sims, r.u.Faults, r.done)
+	n, err := faultsim.DetectAllCtx(r.ctx, r.sims, r.u.Faults, r.done)
+	r.res.Detected += n
 	r.sims[0].ResetPatterns()
+	return err
 }

@@ -1,0 +1,124 @@
+package atpg
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultsim"
+	"repro/internal/netlist"
+)
+
+func cancelTestCore(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	core, err := netlist.Random(netlist.RandomConfig{
+		Inputs: 80, Outputs: 48, Gates: 2008, MaxFan: 3, Seed: 2008,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core
+}
+
+// TestRunAllCtxPreCanceled asserts the fast path: a context that is
+// already dead stops the run almost immediately with a typed error and a
+// partial (near-empty) result.
+func TestRunAllCtxPreCanceled(t *testing.T) {
+	u := faultsim.NewUniverse(cancelTestCore(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunAllCtx(ctx, u, Options{FaultDrop: true, FillSeed: 2008})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("want a partial result alongside the cancellation error")
+	}
+	if done := res.Detected + res.Untestable + res.Aborted; done >= len(u.Faults) {
+		t.Fatalf("pre-cancelled run processed %d/%d faults, expected an early stop", done, len(u.Faults))
+	}
+}
+
+// TestRunAllCtxCancelLatency cancels a long multi-worker run mid-flight
+// and requires it to return well inside the 100ms latency budget, with
+// partial progress recorded.
+func TestRunAllCtxCancelLatency(t *testing.T) {
+	u := faultsim.NewUniverse(cancelTestCore(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := RunAllCtx(ctx, u, Options{FaultDrop: true, FillSeed: 2008, Workers: 4})
+		done <- outcome{res, err}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	t0 := time.Now()
+	select {
+	case o := <-done:
+		if lat := time.Since(t0); lat > 100*time.Millisecond {
+			t.Fatalf("cancellation latency %v exceeds 100ms", lat)
+		}
+		if o.err == nil {
+			// The run won the race and finished before the cancel landed —
+			// legal, nothing more to assert.
+			return
+		}
+		if !errors.Is(o.err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", o.err)
+		}
+		if o.res == nil {
+			t.Fatal("want partial result on cancellation")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RunAllCtx did not return within 2s of cancel")
+	}
+}
+
+// TestRunAllCtxDeadline runs under a tight deadline and expects the typed
+// deadline error once it fires.
+func TestRunAllCtxDeadline(t *testing.T) {
+	u := faultsim.NewUniverse(cancelTestCore(t))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	res, err := RunAllCtx(ctx, u, Options{FaultDrop: true, FillSeed: 2008})
+	if err == nil {
+		t.Skip("machine fast enough to finish inside 5ms; nothing to assert")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res == nil {
+		t.Fatal("want partial result on deadline")
+	}
+}
+
+// TestRunAllCtxUncancelledBitIdentical pins the cancellation plumbing's
+// zero-overhead contract: RunAllCtx with a background context must equal
+// RunAll exactly, counters included.
+func TestRunAllCtxUncancelledBitIdentical(t *testing.T) {
+	core, err := netlist.Random(netlist.RandomConfig{
+		Inputs: 40, Outputs: 24, Gates: 300, MaxFan: 3, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{FaultDrop: true, FillSeed: 7}
+	resA, err := RunAll(faultsim.NewUniverse(core), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := RunAllCtx(context.Background(), faultsim.NewUniverse(core), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Detected != resB.Detected || resA.Untestable != resB.Untestable ||
+		resA.Aborted != resB.Aborted || resA.Backtracks != resB.Backtracks ||
+		resA.Coverage != resB.Coverage || resA.Cubes.Len() != resB.Cubes.Len() {
+		t.Fatalf("RunAllCtx(Background) differs from RunAll:\n%+v\nvs\n%+v", resA, resB)
+	}
+}

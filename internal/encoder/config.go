@@ -1,6 +1,8 @@
 package encoder
 
 import (
+	"context"
+
 	"repro/internal/cube"
 	"repro/internal/lfsr"
 	"repro/internal/phaseshifter"
@@ -84,9 +86,21 @@ func EncodeAutoWorkers(n, width, chains, L int, set *cube.Set, workers int) (*En
 // exactly once, cache or not.) A nil cache builds private tables. The
 // encodings produced are identical with and without a cache.
 func EncodeAutoCached(n, width, chains, L int, set *cube.Set, workers int, cache *TablesCache) (*Encoding, uint64, error) {
+	return EncodeAutoCtx(context.Background(), n, width, chains, L, set, workers, cache)
+}
+
+// EncodeAutoCtx is EncodeAutoCached with cooperative cancellation (see
+// EncodeCtx): the context is checked between phase-shifter variants and
+// threaded into every encode attempt, and a fired context stops the
+// variant iteration instead of masquerading as "unencodable". An
+// uncancelled run is bit-identical to EncodeAutoCached.
+func EncodeAutoCtx(ctx context.Context, n, width, chains, L int, set *cube.Set, workers int, cache *TablesCache) (*Encoding, uint64, error) {
 	const maxVariants = 16
 	var lastErr error
 	for v := uint64(0); v < maxVariants; v++ {
+		if err := ctx.Err(); err != nil {
+			return nil, v, err
+		}
 		var cfg Config
 		if cache != nil {
 			tabs, err := cache.TablesFor(n, width, chains, L, v)
@@ -103,9 +117,12 @@ func EncodeAutoCached(n, width, chains, L int, set *cube.Set, workers int, cache
 			}
 		}
 		cfg.Workers = workers
-		enc, err := Encode(cfg, set)
+		enc, err := EncodeCtx(ctx, cfg, set)
 		if err == nil {
 			return enc, v, nil
+		}
+		if ctx.Err() != nil {
+			return nil, v, err
 		}
 		lastErr = err
 	}

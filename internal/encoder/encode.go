@@ -1,6 +1,7 @@
 package encoder
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -75,6 +76,16 @@ func (e *Encoding) TSL() int { return len(e.Seeds) * e.Cfg.WindowLen }
 // modified. Encode fails if some cube cannot be embedded anywhere even by a
 // dedicated seed (the LFSR is too small for the test set).
 func Encode(cfg Config, set *cube.Set) (*Encoding, error) {
+	return EncodeCtx(context.Background(), cfg, set)
+}
+
+// EncodeCtx is Encode with cooperative cancellation: every candidate-scan
+// worker polls the context once per checkStride consistency checks and the
+// seed-construction loop polls it at every tier boundary, so a cancel or
+// deadline stops the encoder within microseconds of the engines noticing.
+// A cancelled encode returns an error wrapping context.Canceled or
+// context.DeadlineExceeded; an uncancelled run is bit-identical to Encode.
+func EncodeCtx(ctx context.Context, cfg Config, set *cube.Set) (*Encoding, error) {
 	if cfg.WindowLen < 1 {
 		return nil, fmt.Errorf("encoder: window length %d must be ≥ 1", cfg.WindowLen)
 	}
@@ -95,13 +106,13 @@ func Encode(cfg Config, set *cube.Set) (*Encoding, error) {
 		return nil, fmt.Errorf("encoder: Config.Tables built for a different decompressor")
 	}
 	t0 := time.Now()
-	table, err := tabs.EnsureLen(cfg.WindowLen)
+	table, err := tabs.EnsureLenCtx(ctx, cfg.WindowLen)
 	if err != nil {
 		return nil, err
 	}
 	sys := tabs.Systems(set)
 	built := time.Since(t0)
-	enc, err := encodeWithTable(cfg, set, table, sys)
+	enc, err := encodeWithTable(ctx, cfg, set, table, sys)
 	if err != nil {
 		return nil, err
 	}
@@ -120,13 +131,37 @@ type candidate struct {
 // the expression table (see gf2.ReducedTable) plus elimination scratch.
 // Views persist across tiers and seeds, so a (cube, position) re-probed
 // after a commit only folds in the basis rows added since the last probe
-// instead of re-eliminating against the whole basis.
+// instead of re-eliminating against the whole basis. tick amortizes the
+// worker's context polls across checkStride consistency checks.
 type scanView struct {
 	view    *gf2.ReducedTable
 	scratch gf2.CheckScratch
+	tick    int
+}
+
+// checkStride is how many consistency checks a scan worker performs
+// between context polls. One CheckSystem costs tens of nanoseconds at
+// minimum, so polling every 256 checks keeps cancellation latency in the
+// tens of microseconds while the amortized poll cost stays below
+// measurement noise.
+const checkStride = 256
+
+// pollCtx advances a worker's poll tick and, once per checkStride calls,
+// checks the encode context. A fired context trips the shared stop flag so
+// every other worker bails at its next cube claim.
+func (st *encodeState) pollCtx(v *scanView) bool {
+	if v.tick++; v.tick >= checkStride {
+		v.tick = 0
+		if st.ctx.Err() != nil {
+			st.stop.Store(true)
+			return true
+		}
+	}
+	return false
 }
 
 type encodeState struct {
+	ctx     context.Context
 	cfg     Config
 	set     *cube.Set
 	table   *ExprTable
@@ -149,10 +184,15 @@ type encodeState struct {
 	views  []*scanView
 	eqBuf  []gf2.Equation
 	checks int64
+
+	// stop is tripped by the first worker that observes a fired context;
+	// the other scan workers poll it per cube claim and bail early.
+	stop atomic.Bool
 }
 
-func encodeWithTable(cfg Config, set *cube.Set, table *ExprTable, sys *systemIndex) (*Encoding, error) {
+func encodeWithTable(ctx context.Context, cfg Config, set *cube.Set, table *ExprTable, sys *systemIndex) (*Encoding, error) {
 	st := &encodeState{
+		ctx:     ctx,
 		cfg:     cfg,
 		set:     set,
 		table:   table,
@@ -187,6 +227,10 @@ func encodeWithTable(cfg Config, set *cube.Set, table *ExprTable, sys *systemInd
 	enc := &Encoding{Cfg: cfg, Set: set}
 	fill := prng.New(cfg.FillSeed)
 	for st.nRemain > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("encoder: encode stopped after %d seeds (%d/%d cubes): %w",
+				len(enc.Seeds), set.Len()-st.nRemain, set.Len(), err)
+		}
 		seed, err := st.buildSeed(fill)
 		if err != nil {
 			return nil, err
@@ -233,6 +277,9 @@ func (st *encodeState) buildSeed(fill *prng.Source) (Seed, error) {
 	}
 	firstPos := -1
 	for p := 0; p < st.L; p++ {
+		if st.pollCtx(v0) {
+			return Seed{}, fmt.Errorf("encoder: encode stopped scanning cube %d: %w", first, st.ctx.Err())
+		}
 		st.checks++
 		if _, ok := v0.view.CheckSystem(st.sys.base[first], int32(p)*st.stride, st.sys.rhs[first], &v0.scratch); ok {
 			firstPos = p
@@ -245,7 +292,10 @@ func (st *encodeState) buildSeed(fill *prng.Source) (Seed, error) {
 	st.commit(first, firstPos, &seed)
 
 	for {
-		cand, ok := st.scanTiers()
+		cand, ok, err := st.scanTiers()
+		if err != nil {
+			return Seed{}, err
+		}
 		if !ok {
 			break
 		}
@@ -269,7 +319,7 @@ func (st *encodeState) commit(ci, pos int, seed *Seed) {
 // scanTiers walks specified-count tiers in descending order and returns the
 // winning candidate of the first tier that has any solvable system, applying
 // the paper's tie-breaks.
-func (st *encodeState) scanTiers() (candidate, bool) {
+func (st *encodeState) scanTiers() (candidate, bool, error) {
 	i := 0
 	for i < len(st.order) {
 		// Delimit the next tier of equal specified counts, skipping
@@ -278,7 +328,7 @@ func (st *encodeState) scanTiers() (candidate, bool) {
 			i++
 		}
 		if i >= len(st.order) {
-			return candidate{}, false
+			return candidate{}, false, nil
 		}
 		spec := st.set.Cubes[st.order[i]].SpecifiedCount()
 		var tier []int
@@ -288,11 +338,15 @@ func (st *encodeState) scanTiers() (candidate, bool) {
 			}
 			i++
 		}
-		if cand, ok := st.scanTier(tier); ok {
-			return cand, true
+		cand, ok, err := st.scanTier(tier)
+		if err != nil {
+			return candidate{}, false, err
+		}
+		if ok {
+			return cand, true, nil
 		}
 	}
-	return candidate{}, false
+	return candidate{}, false, nil
 }
 
 // scanCube probes every still-feasible position of one cube through a
@@ -306,6 +360,9 @@ func (st *encodeState) scanCube(v *scanView, ci int, out *[]candidate) int64 {
 	for p := 0; p < st.L; p++ {
 		if !feas[p] && !st.cfg.NoPruning {
 			continue
+		}
+		if st.pollCtx(v) {
+			return local // cancelled: the caller discards this tier's scan
 		}
 		local++
 		inc, ok := v.view.CheckSystem(base, int32(p)*st.stride, rhs, &v.scratch)
@@ -323,7 +380,7 @@ func (st *encodeState) scanCube(v *scanView, ci int, out *[]candidate) int64 {
 // the whole scan, each view and each cube's feasibility row is owned by
 // exactly one goroutine at a time, and results are index-addressed — so the
 // tie-breaks below see the same candidate set for any worker count.
-func (st *encodeState) scanTier(tier []int) (candidate, bool) {
+func (st *encodeState) scanTier(tier []int) (candidate, bool, error) {
 	results := make([][]candidate, len(tier))
 	var checkCount int64
 	workers := st.workers
@@ -333,6 +390,9 @@ func (st *encodeState) scanTier(tier []int) (candidate, bool) {
 	if workers <= 1 {
 		v := st.viewFor(0)
 		for ti, ci := range tier {
+			if st.stop.Load() {
+				break
+			}
 			checkCount += st.scanCube(v, ci, &results[ti])
 		}
 	} else {
@@ -345,7 +405,7 @@ func (st *encodeState) scanTier(tier []int) (candidate, bool) {
 			go func(v *scanView) {
 				defer wg.Done()
 				var local int64
-				for {
+				for !st.stop.Load() {
 					ti := int(next.Add(1)) - 1
 					if ti >= len(tier) {
 						break
@@ -360,6 +420,11 @@ func (st *encodeState) scanTier(tier []int) (candidate, bool) {
 		wg.Wait()
 	}
 	st.checks += checkCount
+	if st.stop.Load() {
+		// A cancelled scan saw only part of its tier; its candidates must
+		// not influence a committed encoding.
+		return candidate{}, false, fmt.Errorf("encoder: candidate scan stopped: %w", st.ctx.Err())
+	}
 
 	// Tie-break 1: fewest replaced variables (minimum rank increase).
 	minInc := -1
@@ -371,7 +436,7 @@ func (st *encodeState) scanTier(tier []int) (candidate, bool) {
 		}
 	}
 	if minInc < 0 {
-		return candidate{}, false
+		return candidate{}, false, nil
 	}
 	// Tie-break 2: the cube encodable at the fewest window positions.
 	solvableCount := make(map[int]int)
@@ -398,5 +463,5 @@ func (st *encodeState) scanTier(tier []int) (candidate, bool) {
 			}
 		}
 	}
-	return best, true
+	return best, true, nil
 }

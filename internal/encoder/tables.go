@@ -1,12 +1,15 @@
 package encoder
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cube"
 	"repro/internal/gf2"
 	"repro/internal/lfsr"
+	"repro/internal/lru"
 	"repro/internal/phaseshifter"
 	"repro/internal/scan"
 )
@@ -76,6 +79,21 @@ func (t *Tables) Geo() scan.Geometry { return t.geo }
 // only the symbolic cycles not yet materialised. The returned snapshot is
 // immutable and remains valid across later extensions.
 func (t *Tables) EnsureLen(L int) (*ExprTable, error) {
+	return t.EnsureLenCtx(context.Background(), L)
+}
+
+// symStride is how many symbolic cycles EnsureLenCtx materialises between
+// context polls. A cycle is m·words XOR words plus one symbolic step, so
+// 16 cycles keeps the poll below measurement noise while bounding
+// cancellation latency to microseconds even on the largest cores.
+const symStride = 16
+
+// EnsureLenCtx is EnsureLen with cooperative cancellation: the symbolic
+// simulation polls the context every symStride cycles. An aborted
+// extension leaves the tables fully consistent at the cycles completed so
+// far — the partial work is kept (a later call resumes from it), and every
+// previously returned snapshot stays valid.
+func (t *Tables) EnsureLenCtx(ctx context.Context, L int) (*ExprTable, error) {
 	if L < 1 {
 		return nil, fmt.Errorf("encoder: window length %d must be ≥ 1", L)
 	}
@@ -86,6 +104,14 @@ func (t *Tables) EnsureLen(L int) (*ExprTable, error) {
 	if need > t.cycles {
 		t.arena = append(t.arena, make([]uint64, (need-t.cycles)*m*t.words)...)
 		for cyc := t.cycles; cyc < need; cyc++ {
+			if (cyc-t.cycles)%symStride == symStride-1 && ctx.Err() != nil {
+				// Keep sym, arena and cycles in lockstep at the abort
+				// point: cyc cycles are filled and sym has stepped cyc
+				// times.
+				t.arena = t.arena[:cyc*m*t.words]
+				t.cycles = cyc
+				return nil, fmt.Errorf("encoder: table build stopped at cycle %d/%d: %w", cyc, need, ctx.Err())
+			}
 			base := cyc * m * t.words
 			for ch := 0; ch < m; ch++ {
 				dst := gf2.VecView(t.n, t.arena[base+ch*t.words:base+(ch+1)*t.words])
@@ -152,15 +178,19 @@ func newSystemIndex(set *cube.Set, geo scan.Geometry) *systemIndex {
 // configuration, so experiment sweeps, EncodeAuto variant retries and
 // repeated CLI/benchmark encodes stop recomputing identical symbolic
 // simulations. It is safe for concurrent use: the first caller of a key
-// builds while later callers of the same key block on that slot.
+// builds (singleflight) while later callers of the same key block on that
+// slot, so every configuration is built exactly once no matter how many
+// tenants race on it. SetMax bounds the cache with LRU eviction for
+// long-lived multi-tenant processes; the default is unbounded.
 //
 // The key includes the window length because the standard phase shifter's
 // separation window — and therefore its taps — depends on L·Length; only a
 // caller that holds one decompressor fixed across window lengths (a Config
 // with explicit LFSR/PS plus Config.Tables) gets cross-L prefix reuse.
 type TablesCache struct {
-	mu sync.Mutex
-	m  map[tabKey]*tabSlot // guarded by mu
+	mu     sync.Mutex
+	m      *lru.Cache[tabKey, *tabSlot] // guarded by mu
+	builds atomic.Int64
 }
 
 type tabKey struct {
@@ -174,9 +204,37 @@ type tabSlot struct {
 	err  error
 }
 
-// NewTablesCache returns an empty cache.
+// NewTablesCache returns an empty, unbounded cache.
 func NewTablesCache() *TablesCache {
-	return &TablesCache{m: make(map[tabKey]*tabSlot)}
+	return &TablesCache{m: lru.New[tabKey, *tabSlot](0)}
+}
+
+// SetMax bounds the cache to max configurations (0 = unbounded), evicting
+// least-recently-used entries immediately if the bound is already
+// exceeded. An evicted configuration is simply rebuilt on next use;
+// Tables snapshots already handed out stay valid.
+func (c *TablesCache) SetMax(max int) {
+	c.mu.Lock()
+	c.m.SetMax(max)
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached configurations.
+func (c *TablesCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.Len()
+}
+
+// Builds returns how many Tables builds the cache has performed over its
+// lifetime. Concurrency stress tests use it to assert exactly-once builds.
+func (c *TablesCache) Builds() int64 { return c.builds.Load() }
+
+// Evictions returns how many configurations LRU eviction has dropped.
+func (c *TablesCache) Evictions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.Evictions()
 }
 
 // TablesFor returns the shared Tables of the standard decompressor with
@@ -185,13 +243,14 @@ func NewTablesCache() *TablesCache {
 func (c *TablesCache) TablesFor(n, width, chains, L int, variant uint64) (*Tables, error) {
 	k := tabKey{n: n, width: width, chains: chains, L: L, variant: variant}
 	c.mu.Lock()
-	slot, ok := c.m[k]
+	slot, ok := c.m.Get(k)
 	if !ok {
 		slot = &tabSlot{}
-		c.m[k] = slot
+		c.m.Add(k, slot)
 	}
 	c.mu.Unlock()
 	slot.once.Do(func() {
+		c.builds.Add(1)
 		cfg, err := StandardConfigVariant(n, width, chains, L, variant)
 		if err != nil {
 			slot.err = err

@@ -8,6 +8,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/cube"
 	"repro/internal/encoder"
 	"repro/internal/faultsim"
+	"repro/internal/lru"
 	"repro/internal/netlist"
 	"repro/internal/stateskip"
 )
@@ -107,11 +110,71 @@ type Session struct {
 	// the encoding-side analogue of the ATPG Tables cache below.
 	EncTables *encoder.TablesCache
 
+	// Ctx optionally scopes the session's no-context convenience methods
+	// (Set, Encoding, Index, Tables, ATPG, parallelFor): when non-nil its
+	// cancellation aborts artefact builds and engine runs exactly as the
+	// explicit *Ctx variants do. cmd/stateskip's SIGINT handling rides
+	// this. Per-job callers (the stateskipd server) should pass explicit
+	// contexts to the *Ctx methods instead.
+	Ctx context.Context
+
 	mu   sync.Mutex
-	sets map[string]*memo[*cube.Set]                // guarded by mu
-	encs map[encKey]*memo[*encoder.Encoding]        // guarded by mu
-	idxs map[encKey]*memo[*stateskip.VecEmbeddings] // guarded by mu
-	tabs map[*netlist.Netlist]*memo[*atpg.Tables]   // guarded by mu
+	sets *lru.Cache[string, *memo[*cube.Set]]                // guarded by mu
+	encs *lru.Cache[encKey, *memo[*encoder.Encoding]]        // guarded by mu
+	idxs *lru.Cache[encKey, *memo[*stateskip.VecEmbeddings]] // guarded by mu
+	tabs *lru.Cache[*netlist.Netlist, *memo[*atpg.Tables]]   // guarded by mu
+
+	// stats counts artefact builds and cache hits; see Stats.
+	stats struct {
+		setBuilds, encBuilds, idxBuilds, tabBuilds atomic.Int64
+		hits                                       atomic.Int64
+	}
+}
+
+// SessionStats is a point-in-time snapshot of a session's artefact-cache
+// activity, for the daemon's /metrics endpoint and the singleflight tests.
+type SessionStats struct {
+	// SetBuilds..TableBuilds count computations of each artefact kind —
+	// under singleflight, concurrent identical requests bump these once.
+	SetBuilds, EncodingBuilds, IndexBuilds, TableBuilds int64
+	// Hits counts requests served from an existing memo slot.
+	Hits int64
+	// Evictions counts memo slots dropped by the MaxCached LRU bound.
+	Evictions int64
+	// Cached is the current number of live memo slots across all maps.
+	Cached int
+}
+
+// Stats snapshots the session's cache counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	ev := s.sets.Evictions() + s.encs.Evictions() + s.idxs.Evictions() + s.tabs.Evictions()
+	n := s.sets.Len() + s.encs.Len() + s.idxs.Len() + s.tabs.Len()
+	s.mu.Unlock()
+	return SessionStats{
+		SetBuilds:      s.stats.setBuilds.Load(),
+		EncodingBuilds: s.stats.encBuilds.Load(),
+		IndexBuilds:    s.stats.idxBuilds.Load(),
+		TableBuilds:    s.stats.tabBuilds.Load(),
+		Hits:           s.stats.hits.Load(),
+		Evictions:      int64(ev),
+		Cached:         n,
+	}
+}
+
+// SetMaxCached bounds each of the session's memo maps to n entries with
+// least-recently-used eviction (n <= 0 = unbounded, the default). Long-
+// running multi-tenant deployments set this so a churn of distinct
+// circuits cannot grow the caches without bound. Eviction drops the memo
+// slot only — an in-flight build keeps running for its waiters; a
+// re-request after eviction recomputes.
+func (s *Session) SetMaxCached(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sets.SetMax(n)
+	s.encs.SetMax(n)
+	s.idxs.SetMax(n)
+	s.tabs.SetMax(n)
 }
 
 type encKey struct {
@@ -119,41 +182,91 @@ type encKey struct {
 	L       int
 }
 
-// memo is a once-guarded cache slot: the first goroutine to claim a key
-// computes it while later ones block on the same slot, so parallel drivers
-// requesting the same (circuit, L) artefact share one computation.
+// memo is a singleflight cache slot: the first goroutine to claim a key
+// (the leader) computes it while later ones block on done, so parallel
+// drivers requesting the same (circuit, L) artefact share one
+// computation. Unlike a sync.Once slot, a leader whose own context fires
+// mid-build clears the slot before publishing, so one tenant's cancel
+// never poisons the cache for everyone else — the next requester simply
+// becomes the new leader.
 type memo[V any] struct {
-	once sync.Once
+	done chan struct{} // closed by the leader when val/err are final
 	val  V
 	err  error
 }
 
-// cached returns the memoized value for key k of map m (guarded by mu),
-// computing it at most once across all goroutines.
-func cached[K comparable, V any](mu *sync.Mutex, m map[K]*memo[V], k K, compute func() (V, error)) (V, error) {
-	mu.Lock()
-	e, ok := m[k]
-	if !ok {
-		e = &memo[V]{}
-		m[k] = e
+// isCtxErr reports whether an error is (or wraps) a context cancellation
+// or deadline — the errors that must not be cached.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// cached returns the memoized value for key k of cache m (guarded by mu),
+// computing it at most once across all goroutines. The context governs
+// both waiting (a waiter whose ctx fires stops waiting and returns the
+// ctx error) and leadership hand-off (a slot whose leader was cancelled
+// is retried by the next live requester). builds counts computations;
+// hits counts requests served from an existing slot.
+func cached[K comparable, V any](ctx context.Context, mu *sync.Mutex, m *lru.Cache[K, *memo[V]], builds, hits *atomic.Int64, k K, compute func() (V, error)) (V, error) {
+	var zero V
+	for {
+		mu.Lock()
+		e, ok := m.Get(k)
+		if !ok {
+			e = &memo[V]{done: make(chan struct{})}
+			m.Add(k, e)
+			mu.Unlock()
+			builds.Add(1)
+			e.val, e.err = compute()
+			if e.err != nil && isCtxErr(e.err) {
+				// The leader was cancelled: clear the slot (if it is still
+				// ours — eviction may have raced) before waking waiters, so
+				// a later requester recomputes instead of inheriting the
+				// cancellation.
+				mu.Lock()
+				if cur, ok := m.Get(k); ok && cur == e {
+					m.Remove(k)
+				}
+				mu.Unlock()
+			}
+			close(e.done)
+			return e.val, e.err
+		}
+		mu.Unlock()
+		hits.Add(1)
+		select {
+		case <-e.done:
+			if e.err != nil && isCtxErr(e.err) && ctx.Err() == nil {
+				continue // leader cancelled, we are alive: take over
+			}
+			return e.val, e.err
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
 	}
-	mu.Unlock()
-	e.once.Do(func() { e.val, e.err = compute() })
-	return e.val, e.err
 }
 
 // NewSession creates a session at the given scale with that scale's
-// default parameters.
+// default parameters. Caches start unbounded; see SetMaxCached.
 func NewSession(scale benchprofile.Scale) *Session {
 	return &Session{
 		Scale:     scale,
 		Params:    ParamsFor(scale),
 		EncTables: encoder.NewTablesCache(),
-		sets:      make(map[string]*memo[*cube.Set]),
-		encs:      make(map[encKey]*memo[*encoder.Encoding]),
-		idxs:      make(map[encKey]*memo[*stateskip.VecEmbeddings]),
-		tabs:      make(map[*netlist.Netlist]*memo[*atpg.Tables]),
+		sets:      lru.New[string, *memo[*cube.Set]](0),
+		encs:      lru.New[encKey, *memo[*encoder.Encoding]](0),
+		idxs:      lru.New[encKey, *memo[*stateskip.VecEmbeddings]](0),
+		tabs:      lru.New[*netlist.Netlist, *memo[*atpg.Tables]](0),
 	}
+}
+
+// ctx resolves the session's ambient context for the no-context
+// convenience methods.
+func (s *Session) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }
 
 // workerCount resolves the session's worker budget for n independent work
@@ -178,9 +291,13 @@ func (s *Session) workerCount(n int) int {
 // index-addressed slots so the assembled output is deterministic regardless
 // of scheduling.
 func (s *Session) parallelFor(n int, fn func(i int) error) error {
+	ctx := s.ctx()
 	workers := s.workerCount(n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -195,7 +312,7 @@ func (s *Session) parallelFor(n int, fn func(i int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for !failed.Load() {
+			for !failed.Load() && ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -212,7 +329,7 @@ func (s *Session) parallelFor(n int, fn func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // Tables returns the (cached) shared ATPG tables of a core — levelization,
@@ -221,15 +338,21 @@ func (s *Session) parallelFor(n int, fn func(i int) error) error {
 // tables were cached (gates or outputs added) is detected and rebuilt, so
 // mutate-then-rerun flows keep working.
 func (s *Session) Tables(core *netlist.Netlist) (*atpg.Tables, error) {
+	return s.TablesCtx(s.ctx(), core)
+}
+
+// TablesCtx is Tables with an explicit context: a cancelled leader's
+// build is not cached, and waiters whose context fires stop waiting.
+func (s *Session) TablesCtx(ctx context.Context, core *netlist.Netlist) (*atpg.Tables, error) {
 	build := func() (*atpg.Tables, error) { return atpg.NewTables(core) }
-	t, err := cached(&s.mu, s.tabs, core, build)
+	t, err := cached(ctx, &s.mu, s.tabs, &s.stats.tabBuilds, &s.stats.hits, core, build)
 	if err != nil || t.Valid(core) {
 		return t, err
 	}
 	s.mu.Lock()
-	delete(s.tabs, core)
+	s.tabs.Remove(core)
 	s.mu.Unlock()
-	return cached(&s.mu, s.tabs, core, build)
+	return cached(ctx, &s.mu, s.tabs, &s.stats.tabBuilds, &s.stats.hits, core, build)
 }
 
 // ATPG runs the full PODEM + fault-drop flow over a gate-level core with
@@ -248,23 +371,37 @@ func (s *Session) ATPG(core *netlist.Netlist, fillSeed uint64) (*faultsim.Univer
 // including Options.Backtrace, which cmd/stateskip's `atpg -backtrace`
 // flag rides through here — passes straight to atpg.RunAll.
 func (s *Session) ATPGOpts(core *netlist.Netlist, opt atpg.Options) (*faultsim.Universe, *atpg.Result, error) {
-	t, err := s.Tables(core)
+	return s.ATPGOptsCtx(s.ctx(), core, opt)
+}
+
+// ATPGOptsCtx is ATPGOpts with cooperative cancellation threaded into the
+// PODEM pipeline and the fault-drop simulator pool (see atpg.RunAllCtx).
+// On cancellation or deadline it returns the universe and the partial
+// Result alongside the typed context error, so callers can report
+// progress made before the stop.
+func (s *Session) ATPGOptsCtx(ctx context.Context, core *netlist.Netlist, opt atpg.Options) (*faultsim.Universe, *atpg.Result, error) {
+	t, err := s.TablesCtx(ctx, core)
 	if err != nil {
 		return nil, nil, err
 	}
 	opt.Workers = s.Workers
 	opt.Tables = t
 	u := faultsim.NewUniverse(core)
-	res, err := atpg.RunAll(u, opt)
+	res, err := atpg.RunAllCtx(ctx, u, opt)
 	if err != nil {
-		return nil, nil, err
+		return u, res, err // res is the partial progress on a ctx error, nil otherwise
 	}
 	return u, res, nil
 }
 
 // Set returns the (cached) synthetic cube set of one circuit.
 func (s *Session) Set(circuit string) (*cube.Set, error) {
-	return cached(&s.mu, s.sets, circuit, func() (*cube.Set, error) {
+	return s.SetCtx(s.ctx(), circuit)
+}
+
+// SetCtx is Set with an explicit context scoping the singleflight build.
+func (s *Session) SetCtx(ctx context.Context, circuit string) (*cube.Set, error) {
+	return cached(ctx, &s.mu, s.sets, &s.stats.setBuilds, &s.stats.hits, circuit, func() (*cube.Set, error) {
 		p, err := benchprofile.ByName(circuit, s.Scale)
 		if err != nil {
 			return nil, err
@@ -276,8 +413,15 @@ func (s *Session) Set(circuit string) (*cube.Set, error) {
 // Encoding returns the (cached) window encoding of one circuit at window
 // length L.
 func (s *Session) Encoding(circuit string, L int) (*encoder.Encoding, error) {
-	return cached(&s.mu, s.encs, encKey{circuit, L}, func() (*encoder.Encoding, error) {
-		set, err := s.Set(circuit)
+	return s.EncodingCtx(s.ctx(), circuit, L)
+}
+
+// EncodingCtx is Encoding with cooperative cancellation threaded into the
+// encoder's candidate scan (see encoder.EncodeCtx). The leader's context
+// governs the build; a cancelled build is not cached.
+func (s *Session) EncodingCtx(ctx context.Context, circuit string, L int) (*encoder.Encoding, error) {
+	return cached(ctx, &s.mu, s.encs, &s.stats.encBuilds, &s.stats.hits, encKey{circuit, L}, func() (*encoder.Encoding, error) {
+		set, err := s.SetCtx(ctx, circuit)
 		if err != nil {
 			return nil, err
 		}
@@ -285,7 +429,7 @@ func (s *Session) Encoding(circuit string, L int) (*encoder.Encoding, error) {
 		if err != nil {
 			return nil, err
 		}
-		enc, _, err := encoder.EncodeAutoCached(p.LFSRSize, p.Width, p.Chains, L, set, s.Workers, s.EncTables)
+		enc, _, err := encoder.EncodeAutoCtx(ctx, p.LFSRSize, p.Width, p.Chains, L, set, s.Workers, s.EncTables)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s L=%d: %w", circuit, L, err)
 		}
@@ -295,8 +439,14 @@ func (s *Session) Encoding(circuit string, L int) (*encoder.Encoding, error) {
 
 // Index returns the (cached) vector-level embedding index of one encoding.
 func (s *Session) Index(circuit string, L int) (*stateskip.VecEmbeddings, error) {
-	return cached(&s.mu, s.idxs, encKey{circuit, L}, func() (*stateskip.VecEmbeddings, error) {
-		enc, err := s.Encoding(circuit, L)
+	return s.IndexCtx(s.ctx(), circuit, L)
+}
+
+// IndexCtx is Index with an explicit context scoping the singleflight
+// build and the encoding it depends on.
+func (s *Session) IndexCtx(ctx context.Context, circuit string, L int) (*stateskip.VecEmbeddings, error) {
+	return cached(ctx, &s.mu, s.idxs, &s.stats.idxBuilds, &s.stats.hits, encKey{circuit, L}, func() (*stateskip.VecEmbeddings, error) {
+		enc, err := s.EncodingCtx(ctx, circuit, L)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package faultsim
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -46,6 +48,16 @@ func Coverage(u *Universe, patterns [][]uint8) (detected []bool, coverage float6
 // Every fault index is owned by exactly one worker, so the detected slice
 // is written race-free and the result does not depend on scheduling.
 func CoverageOpts(u *Universe, patterns [][]uint8, opt Options) (detected []bool, coverage float64, err error) {
+	return CoverageCtx(context.Background(), u, patterns, opt)
+}
+
+// CoverageCtx is CoverageOpts with cooperative cancellation: the context
+// is polled between 64-pattern batches and, amortized, inside every
+// sharded sweep, so a cancel or deadline stops the pool within
+// microseconds. A cancelled run returns a nil detected slice and an error
+// wrapping context.Canceled or context.DeadlineExceeded; an uncancelled
+// run is bit-identical to CoverageOpts.
+func CoverageCtx(ctx context.Context, u *Universe, patterns [][]uint8, opt Options) (detected []bool, coverage float64, err error) {
 	sims, err := NewSimulatorPool(u, opt.PoolSize(len(u.Faults)))
 	if err != nil {
 		return nil, 0, err
@@ -59,7 +71,9 @@ func CoverageOpts(u *Universe, patterns [][]uint8, opt Options) (detected []bool
 		for _, sim := range sims[1:] {
 			sim.AdoptPatterns(sims[0])
 		}
-		DetectAll(sims, u.Faults, detected)
+		if _, err := DetectAllCtx(ctx, sims, u.Faults, detected); err != nil {
+			return nil, 0, fmt.Errorf("faultsim: coverage stopped at pattern %d/%d: %w", start, len(patterns), err)
+		}
 	}
 	nd := 0
 	for _, d := range detected {
@@ -95,9 +109,29 @@ func NewSimulatorPool(u *Universe, n int) ([]*Simulator, error) {
 // never race and the result does not depend on scheduling. It returns the
 // number of faults newly marked.
 func DetectAll(sims []*Simulator, faults []Fault, detected []bool) int {
+	n, _ := DetectAllCtx(context.Background(), sims, faults, detected)
+	return n
+}
+
+// detectStride is how many faults each sweep worker simulates between
+// context polls: one DetectAny costs at least a microsecond, so polling
+// every 256 faults bounds cancellation latency well below a millisecond
+// while the amortized poll cost is unmeasurable.
+const detectStride = 256
+
+// DetectAllCtx is DetectAll with cooperative cancellation: every worker
+// polls the context once per detectStride faults and stops early when it
+// fires. On cancellation the detected slice holds a valid partial marking
+// (every true entry is genuinely detected) and the error wraps
+// context.Canceled or context.DeadlineExceeded; an uncancelled sweep is
+// bit-identical to DetectAll.
+func DetectAllCtx(ctx context.Context, sims []*Simulator, faults []Fault, detected []bool) (int, error) {
 	if len(sims) == 1 {
 		count := 0
 		for fi, f := range faults {
+			if fi%detectStride == detectStride-1 && ctx.Err() != nil {
+				return count, ctx.Err()
+			}
 			if detected[fi] {
 				continue
 			}
@@ -106,7 +140,7 @@ func DetectAll(sims []*Simulator, faults []Fault, detected []bool) int {
 				count++
 			}
 		}
-		return count
+		return count, nil
 	}
 	counts := make([]int, len(sims))
 	var wg sync.WaitGroup
@@ -115,7 +149,14 @@ func DetectAll(sims []*Simulator, faults []Fault, detected []bool) int {
 		go func(w int) {
 			defer wg.Done()
 			sim := sims[w]
+			tick := 0
 			for fi := w; fi < len(faults); fi += len(sims) {
+				if tick++; tick == detectStride {
+					tick = 0
+					if ctx.Err() != nil {
+						return
+					}
+				}
 				if detected[fi] {
 					continue
 				}
@@ -131,5 +172,5 @@ func DetectAll(sims []*Simulator, faults []Fault, detected []bool) int {
 	for _, c := range counts {
 		total += c
 	}
-	return total
+	return total, ctx.Err()
 }

@@ -1,0 +1,96 @@
+package lru
+
+import "testing"
+
+func TestBasicAddGet(t *testing.T) {
+	c := New[string, int](0)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	c.Add("a", 3)
+	if v, _ := c.Get("a"); v != 3 {
+		t.Fatalf("replace: Get(a) = %d, want 3", v)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len after replace = %d, want 2", c.Len())
+	}
+}
+
+func TestUnboundedNeverEvicts(t *testing.T) {
+	c := New[int, int](0)
+	for i := 0; i < 1000; i++ {
+		c.Add(i, i)
+	}
+	if c.Len() != 1000 || c.Evictions() != 0 {
+		t.Fatalf("Len=%d Evictions=%d, want 1000, 0", c.Len(), c.Evictions())
+	}
+}
+
+func TestEvictsLeastRecentlyUsed(t *testing.T) {
+	c := New[int, int](3)
+	c.Add(1, 1)
+	c.Add(2, 2)
+	c.Add(3, 3)
+	c.Get(1) // 2 is now LRU
+	c.Add(4, 4)
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 should have been evicted (LRU)")
+	}
+	for _, k := range []int{1, 3, 4} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%d should survive", k)
+		}
+	}
+	if c.Len() != 3 || c.Evictions() != 1 {
+		t.Fatalf("Len=%d Evictions=%d, want 3, 1", c.Len(), c.Evictions())
+	}
+}
+
+func TestAddBumpsRecency(t *testing.T) {
+	c := New[int, int](2)
+	c.Add(1, 1)
+	c.Add(2, 2)
+	c.Add(1, 10) // re-add bumps 1; 2 becomes LRU
+	c.Add(3, 3)
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 should have been evicted")
+	}
+	if v, ok := c.Get(1); !ok || v != 10 {
+		t.Fatalf("Get(1) = %d, %v; want 10, true", v, ok)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New[int, int](2)
+	c.Add(1, 1)
+	c.Add(2, 2)
+	c.Remove(1)
+	c.Remove(99) // no-op
+	if _, ok := c.Get(1); ok || c.Len() != 1 {
+		t.Fatalf("Remove failed: Len=%d", c.Len())
+	}
+	// List stays consistent after removing head/tail.
+	c.Add(3, 3)
+	c.Add(4, 4)
+	if c.Len() != 2 {
+		t.Fatalf("Len=%d, want 2", c.Len())
+	}
+}
+
+func TestSingleEntryBound(t *testing.T) {
+	c := New[int, int](1)
+	for i := 0; i < 10; i++ {
+		c.Add(i, i)
+		if c.Len() != 1 {
+			t.Fatalf("Len=%d at i=%d, want 1", c.Len(), i)
+		}
+	}
+	if _, ok := c.Get(9); !ok {
+		t.Fatal("most recent entry must survive")
+	}
+}

@@ -382,3 +382,43 @@ func (n *Netlist) Summary() (Stats, error) {
 		Levels:  numLevels - 1,
 	}, nil
 }
+
+// Hash returns a content hash of the circuit structure: gate types,
+// fan-in wiring, and the input/output maps (names excluded — two
+// structurally identical circuits with different signal names hash
+// equal). The server layer uses it as the content address of per-netlist
+// artefact caches, so identical jobs submitted by different tenants share
+// one cache entry. FNV-1a over the structural stream; stable across runs
+// and platforms.
+func (n *Netlist) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(n.Gates)))
+	for gi := range n.Gates {
+		g := &n.Gates[gi]
+		mix(uint64(g.Type))
+		mix(uint64(len(g.Fanin)))
+		for _, fi := range g.Fanin {
+			mix(uint64(fi))
+		}
+	}
+	mix(uint64(len(n.Inputs)))
+	for _, gi := range n.Inputs {
+		mix(uint64(gi))
+	}
+	mix(uint64(len(n.Outputs)))
+	for _, gi := range n.Outputs {
+		mix(uint64(gi))
+	}
+	return h
+}

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/prng"
+)
+
+// Sleeper abstracts the delay between retry attempts so tests can assert
+// exact backoff schedules without wall-clock waits. Sleep returns early
+// with the context error when ctx fires mid-sleep.
+type Sleeper interface {
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// realSleeper is the production Sleeper: a timer racing the context.
+type realSleeper struct{}
+
+func (realSleeper) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Backoff computes retry delays: exponential growth from Base by Factor,
+// capped at Cap, with symmetric multiplicative jitter. Jitter draws from
+// the deterministic SplitMix64 source the rest of the repository uses, so
+// a seeded schedule is bit-reproducible — the backoff tests assert exact
+// delay sequences.
+type Backoff struct {
+	// Base is the delay of attempt 0 (before jitter).
+	Base time.Duration
+	// Cap bounds the grown (pre-jitter) delay; 0 means no cap.
+	Cap time.Duration
+	// Factor is the per-attempt growth multiplier; values < 1 (including
+	// the zero value) are treated as 2.
+	Factor float64
+	// Jitter in [0, 1] spreads each delay uniformly over
+	// [d·(1-Jitter), d·(1+Jitter)]; 0 disables jitter.
+	Jitter float64
+}
+
+// Delay returns the backoff delay for the given zero-based attempt.
+// rnd supplies the jitter draw; a nil rnd disables jitter.
+func (b Backoff) Delay(attempt int, rnd *prng.Source) time.Duration {
+	factor := b.Factor
+	if factor < 1 {
+		factor = 2
+	}
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if b.Cap > 0 && d >= float64(b.Cap) {
+			d = float64(b.Cap)
+			break
+		}
+	}
+	if b.Cap > 0 && d > float64(b.Cap) {
+		d = float64(b.Cap)
+	}
+	if b.Jitter > 0 && rnd != nil {
+		span := d * b.Jitter
+		d = d - span + 2*span*rnd.Float64()
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}

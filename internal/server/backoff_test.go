@@ -1,0 +1,67 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/prng"
+)
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: time.Second, Factor: 2}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second,
+		time.Second,
+	}
+	for attempt, w := range want {
+		if got := b.Delay(attempt, nil); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", attempt, got, w)
+		}
+	}
+}
+
+func TestBackoffDefaultFactor(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond}
+	if got := b.Delay(3, nil); got != 400*time.Millisecond {
+		t.Fatalf("Delay(3) with default factor = %v, want 400ms", got)
+	}
+}
+
+// TestBackoffJitterDeterministic pins the jittered schedule bit-exactly:
+// same seed, same delays — the property the retry tests lean on.
+func TestBackoffJitterDeterministic(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: time.Second, Factor: 2, Jitter: 0.5}
+	a := prng.New(42)
+	c := prng.New(42)
+	for attempt := 0; attempt < 6; attempt++ {
+		d1 := b.Delay(attempt, a)
+		d2 := b.Delay(attempt, c)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: same seed gave %v and %v", attempt, d1, d2)
+		}
+		// Jitter must stay inside [d·(1-J), d·(1+J)].
+		base := b.Delay(attempt, nil)
+		lo := time.Duration(float64(base) * 0.5)
+		hi := time.Duration(float64(base) * 1.5)
+		if d1 < lo || d1 > hi {
+			t.Fatalf("attempt %d: jittered delay %v outside [%v, %v]", attempt, d1, lo, hi)
+		}
+	}
+}
+
+func TestRealSleeperHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t0 := time.Now()
+	if err := (realSleeper{}).Sleep(ctx, 10*time.Second); err == nil {
+		t.Fatal("Sleep with dead context returned nil")
+	}
+	if time.Since(t0) > time.Second {
+		t.Fatal("Sleep did not return promptly on a dead context")
+	}
+}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// Metrics is the point-in-time snapshot served by GET /metrics.
+type Metrics struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Queue         struct {
+		Depth    int  `json:"depth"`
+		Capacity int  `json:"capacity"`
+		Draining bool `json:"draining"`
+	} `json:"queue"`
+	Jobs struct {
+		Submitted int64 `json:"submitted"`
+		Rejected  int64 `json:"rejected"`
+		Done      int64 `json:"done"`
+		Failed    int64 `json:"failed"`
+		Canceled  int64 `json:"canceled"`
+		Retries   int64 `json:"retries"`
+		Panics    int64 `json:"panics"`
+	} `json:"jobs"`
+	Session struct {
+		SetBuilds      int64 `json:"set_builds"`
+		EncodingBuilds int64 `json:"encoding_builds"`
+		IndexBuilds    int64 `json:"index_builds"`
+		TableBuilds    int64 `json:"table_builds"`
+		Hits           int64 `json:"hits"`
+		Evictions      int64 `json:"evictions"`
+		Cached         int   `json:"cached"`
+		EncTableBuilds int64 `json:"enc_table_builds"`
+		EncTableCached int   `json:"enc_table_cached"`
+	} `json:"session"`
+	Cores struct {
+		Cached    int `json:"cached"`
+		Evictions int `json:"evictions"`
+	} `json:"cores"`
+}
+
+// MetricsSnapshot assembles the current metrics.
+func (s *Server) MetricsSnapshot() Metrics {
+	var m Metrics
+	m.UptimeSeconds = s.now().Sub(s.started).Seconds()
+	s.mu.Lock()
+	m.Queue.Depth = len(s.queue)
+	m.Queue.Capacity = cap(s.queue)
+	m.Queue.Draining = s.draining
+	m.Cores.Cached = s.cores.Len()
+	m.Cores.Evictions = s.cores.Evictions()
+	s.mu.Unlock()
+	m.Jobs.Submitted = s.metrics.submitted.Load()
+	m.Jobs.Rejected = s.metrics.rejected.Load()
+	m.Jobs.Done = s.metrics.done.Load()
+	m.Jobs.Failed = s.metrics.failed.Load()
+	m.Jobs.Canceled = s.metrics.canceled.Load()
+	m.Jobs.Retries = s.metrics.retries.Load()
+	m.Jobs.Panics = s.metrics.panics.Load()
+	st := s.session.Stats()
+	m.Session.SetBuilds = st.SetBuilds
+	m.Session.EncodingBuilds = st.EncodingBuilds
+	m.Session.IndexBuilds = st.IndexBuilds
+	m.Session.TableBuilds = st.TableBuilds
+	m.Session.Hits = st.Hits
+	m.Session.Evictions = st.Evictions
+	m.Session.Cached = st.Cached
+	m.Session.EncTableBuilds = s.session.EncTables.Builds()
+	m.Session.EncTableCached = s.session.EncTables.Len()
+	return m
+}
+
+// httpError is the JSON error envelope of every non-2xx response.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // the client hung up; nothing to do
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, httpError{Error: err.Error()})
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST   /jobs           submit a job (Request JSON) → 202 Status
+//	GET    /jobs           list all jobs, newest first
+//	GET    /jobs/{id}      poll one job's Status
+//	GET    /jobs/{id}/result  fetch a terminal job's Result (+Status)
+//	DELETE /jobs/{id}      cancel a job
+//	GET    /metrics        queue/job/cache counters
+//	GET    /healthz        liveness (503 while draining)
+//
+// A full queue or a draining server answers POST /jobs with 503 and a
+// Retry-After header, the standard backpressure contract.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, err := s.Submit(req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, st)
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// resultResponse pairs a job's status with its payload; Result is null
+// until the job is terminal, and stays null for jobs canceled before
+// producing partial progress.
+type resultResponse struct {
+	Status *Status `json:"status"`
+	Result *Result `json:"result"`
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, st, err := s.Result(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if !st.State.Terminal() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusAccepted, resultResponse{Status: st})
+		return
+	}
+	writeJSON(w, http.StatusOK, resultResponse{Status: st, Result: res})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, http.StatusServiceUnavailable, ErrDraining)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "uptime": time.Duration(s.MetricsSnapshot().UptimeSeconds * float64(time.Second)).String()})
+}

@@ -1,0 +1,541 @@
+// Package server implements stateskipd's job service: a bounded-queue,
+// worker-pool daemon running the repository's encode / ATPG / coverage
+// flows over one shared experiments.Session. Jobs are submitted, polled,
+// fetched and cancelled over HTTP (see Handler); every job runs under its
+// own context with a per-job deadline, cooperative cancellation threaded
+// through the engines, retry with exponential backoff and jitter, and
+// per-attempt panic recovery that fails only the offending job.
+//
+// The package sits outside the deterministic pipeline boundary (see
+// ARCHITECTURE.md): it may read wall clocks and schedule freely, because
+// everything it runs goes through the pipeline packages, whose results
+// are bit-identical regardless of timing.
+package server
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/atpg"
+	"repro/internal/benchprofile"
+	"repro/internal/experiments"
+	"repro/internal/faultsim"
+	"repro/internal/lru"
+	"repro/internal/netlist"
+	"repro/internal/prng"
+	"repro/internal/stateskip"
+)
+
+// Stage names a job-lifecycle boundary where the chaos hook fires.
+type Stage string
+
+const (
+	// StageDequeue fires when a worker picks a job off the queue.
+	StageDequeue Stage = "dequeue"
+	// StageAttempt fires at the start of every run attempt.
+	StageAttempt Stage = "attempt"
+	// StageFinish fires after a job reaches a terminal state.
+	StageFinish Stage = "finish"
+)
+
+// Hook is a fault-injection point for the chaos tests: it may return an
+// error (fails the attempt, subject to retry), panic (exercises panic
+// recovery), or block on the context (exercises deadlines and shutdown).
+// A nil hook is never called. Hooks run on worker goroutines and must be
+// safe for concurrent use.
+type Hook func(ctx context.Context, jobID string, stage Stage) error
+
+// Config tunes a Server. The zero value is usable: CI scale, one job
+// worker per CPU, a 64-entry queue, no default deadline, no retries.
+type Config struct {
+	// Scale selects the benchmark profile scale (CI or paper).
+	Scale benchprofile.Scale
+	// JobWorkers is the number of jobs run concurrently (0 = 2).
+	JobWorkers int
+	// EngineWorkers bounds each job's internal parallelism
+	// (experiments.Session.Workers); 0 = all CPUs.
+	EngineWorkers int
+	// QueueSize bounds the backlog of queued jobs (0 = 64). A full queue
+	// rejects submissions with ErrQueueFull (HTTP 503 + Retry-After).
+	QueueSize int
+	// DefaultTimeout is the per-job deadline applied when a request does
+	// not set TimeoutMS (0 = none).
+	DefaultTimeout time.Duration
+	// MaxRetries is how many times a failed (non-context) attempt is
+	// retried before the job fails.
+	MaxRetries int
+	// Backoff shapes the delay between retries.
+	Backoff Backoff
+	// RetrySeed keys the deterministic jitter stream; each job derives
+	// its own stream from RetrySeed and its sequence number.
+	RetrySeed uint64
+	// Sleeper performs the backoff delays (nil = real timers). Tests
+	// inject a recording Sleeper to assert exact schedules.
+	Sleeper Sleeper
+	// Clock supplies job timestamps (nil = time.Now). Tests inject a
+	// fixed clock for deterministic Status assertions.
+	Clock func() time.Time
+	// MaxCores bounds the content-addressed netlist cache (0 = 128).
+	MaxCores int
+	// MaxCached bounds the session's artefact memo maps
+	// (experiments.Session.SetMaxCached); 0 leaves them unbounded.
+	MaxCached int
+	// Hook is the chaos-test fault-injection point; nil in production.
+	Hook Hook
+}
+
+func (c *Config) fill() {
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.Sleeper == nil {
+		c.Sleeper = realSleeper{}
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	if c.MaxCores <= 0 {
+		c.MaxCores = 128
+	}
+}
+
+// Server is the stateskipd job service. Construct with New, serve its
+// Handler, and stop it with Shutdown.
+type Server struct {
+	cfg     Config
+	session *experiments.Session
+
+	// baseCtx parents every job context; baseCancel is the hard-stop
+	// lever Shutdown pulls when the drain deadline passes.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu   sync.Mutex
+	jobs map[string]*job // guarded by mu
+	// queue carries accepted jobs to the workers. Channel operations are
+	// self-synchronized, so receives take no lock; sends and the close in
+	// Shutdown happen under mu so a Submit can never race the close.
+	queue    chan *job
+	draining bool                                 // guarded by mu
+	nextSeq  uint64                               // guarded by mu
+	cores    *lru.Cache[uint64, *netlist.Netlist] // guarded by mu; content-addressed by netlist.Hash
+
+	wg      sync.WaitGroup
+	started time.Time
+
+	metrics struct {
+		submitted, rejected    atomic.Int64
+		done, failed, canceled atomic.Int64
+		retries, panics        atomic.Int64
+	}
+}
+
+// New starts a Server with cfg.JobWorkers worker goroutines. The caller
+// must eventually call Shutdown (or Close) to stop them.
+func New(cfg Config) *Server {
+	cfg.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		session:    experiments.NewSession(cfg.Scale),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*job),
+		queue:      make(chan *job, cfg.QueueSize),
+		cores:      lru.New[uint64, *netlist.Netlist](cfg.MaxCores),
+		started:    cfg.Clock(),
+	}
+	s.session.Workers = cfg.EngineWorkers
+	if cfg.MaxCached > 0 {
+		s.session.SetMaxCached(cfg.MaxCached)
+		s.session.EncTables.SetMax(cfg.MaxCached)
+	}
+	for i := 0; i < cfg.JobWorkers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Session exposes the shared session for tests and metrics.
+func (s *Server) Session() *experiments.Session { return s.session }
+
+func (s *Server) now() time.Time { return s.cfg.Clock() }
+
+// Submit validates and enqueues a job, returning its initial status.
+// A full queue returns ErrQueueFull; a draining server ErrDraining.
+func (s *Server) Submit(req Request) (*Status, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	s.nextSeq++
+	jctx, cancel := context.WithCancel(s.baseCtx)
+	j := &job{
+		id:        fmt.Sprintf("j%06d", s.nextSeq),
+		seq:       s.nextSeq,
+		req:       req,
+		ctx:       jctx,
+		cancel:    cancel,
+		state:     StateQueued,
+		submitted: s.now(),
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		st := j.statusLocked()
+		st.QueueDepth = len(s.queue)
+		s.mu.Unlock()
+		s.metrics.submitted.Add(1)
+		return st, nil
+	default:
+		s.nextSeq-- // unused ID; keep the sequence dense
+		s.mu.Unlock()
+		cancel()
+		s.metrics.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+}
+
+// Status snapshots one job.
+func (s *Server) Status(id string) (*Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j.statusLocked(), nil
+}
+
+// Result returns a terminal job's result and status. For a job that is
+// still queued or running it returns the status and a nil Result, so
+// callers can distinguish "not done yet" from "done without payload".
+func (s *Server) Result(id string) (*Result, *Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	return j.result, j.statusLocked(), nil
+}
+
+// Cancel stops a job: a queued job is finalised immediately (the worker
+// later skips its carcass), a running one has its context cancelled and
+// finalises itself within the engines' cancellation latency. Cancelling a
+// terminal job is a no-op returning its final status.
+func (s *Server) Cancel(id string) (*Status, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	if j.state == StateQueued {
+		now := s.now()
+		j.state = StateCanceled
+		j.err = fmt.Errorf("%w: canceled while queued", ErrCanceled)
+		j.finished = &now
+		s.metrics.canceled.Add(1)
+	}
+	st := j.statusLocked()
+	s.mu.Unlock()
+	j.cancel()
+	return st, nil
+}
+
+// Jobs lists every job's status, newest first.
+func (s *Server) Jobs() []*Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Status, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.statusLocked())
+	}
+	for i := 0; i < len(out); i++ { // insertion sort by ID desc (IDs are zero-padded)
+		for k := i; k > 0 && out[k].ID > out[k-1].ID; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	return out
+}
+
+// Shutdown gracefully stops the server: new submissions are rejected with
+// ErrDraining, queued and running jobs drain normally until ctx fires,
+// then every outstanding job is cancelled and Shutdown waits for the
+// workers to observe it. Returns nil on a clean drain, otherwise ctx's
+// error. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Drain deadline passed: hard-cancel everything still in flight.
+		// The engines poll their contexts cooperatively, so the workers
+		// exit within microseconds of this.
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close is Shutdown with an immediate drain deadline: cancel everything
+// and wait for the workers.
+func (s *Server) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Shutdown(ctx) //nolint:errcheck // the forced-drain error is expected here
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) hook(ctx context.Context, id string, stage Stage) error {
+	if s.cfg.Hook == nil {
+		return nil
+	}
+	return s.cfg.Hook(ctx, id, stage)
+}
+
+// runJob drives one job through its attempt/retry loop and finalises it.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	if j.state != StateQueued { // cancelled while queued
+		s.mu.Unlock()
+		return
+	}
+	now := s.now()
+	j.state = StateRunning
+	j.started = &now
+	s.mu.Unlock()
+
+	ctx := j.ctx
+	timeout := s.cfg.DefaultTimeout
+	if j.req.TimeoutMS != 0 {
+		timeout = time.Duration(j.req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	if err := s.hook(ctx, j.id, StageDequeue); err != nil {
+		s.finalize(j, nil, err)
+		return
+	}
+
+	rnd := prng.New(s.cfg.RetrySeed ^ j.seq)
+	var res *Result
+	var err error
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		j.attempts = attempt + 1
+		s.mu.Unlock()
+		res, err = s.attempt(ctx, j, attempt)
+		if err == nil || ctx.Err() != nil || attempt >= s.cfg.MaxRetries {
+			break
+		}
+		s.metrics.retries.Add(1)
+		if serr := s.cfg.Sleeper.Sleep(ctx, s.cfg.Backoff.Delay(attempt, rnd)); serr != nil {
+			err = serr
+			break
+		}
+	}
+	s.finalize(j, res, err)
+}
+
+// finalize records a job's terminal state, translating context errors into
+// the package's typed sentinels.
+func (s *Server) finalize(j *job, res *Result, err error) {
+	s.mu.Lock()
+	now := s.now()
+	j.finished = &now
+	j.result = res
+	switch {
+	case err == nil:
+		j.state = StateDone
+		s.metrics.done.Add(1)
+	case isCtxErr(err):
+		j.state = StateCanceled
+		j.partial = res != nil
+		sentinel := ErrCanceled
+		if errorIsDeadline(err) {
+			sentinel = ErrDeadline
+		}
+		j.err = fmt.Errorf("%w: %w", sentinel, err)
+		s.metrics.canceled.Add(1)
+	default:
+		j.state = StateFailed
+		j.err = err
+		s.metrics.failed.Add(1)
+	}
+	s.mu.Unlock()
+	j.cancel()
+	s.hook(context.Background(), j.id, StageFinish) //nolint:errcheck // finish hooks are observational
+}
+
+// attempt runs one try of a job with panic containment: a panicking
+// attempt fails only this job, with the stack captured into its error.
+func (s *Server) attempt(ctx context.Context, j *job, attempt int) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.panics.Add(1)
+			err = fmt.Errorf("server: job %s attempt %d panicked: %v\n%s", j.id, attempt, r, debug.Stack())
+		}
+	}()
+	if err := s.hook(ctx, j.id, StageAttempt); err != nil {
+		return nil, err
+	}
+	switch j.req.Kind {
+	case KindEncode:
+		return s.runEncode(ctx, &j.req)
+	case KindATPG:
+		return s.runATPG(ctx, &j.req)
+	case KindCoverage:
+		return s.runCoverage(ctx, &j.req)
+	}
+	return nil, fmt.Errorf("server: unknown job kind %q", j.req.Kind)
+}
+
+func (s *Server) runEncode(ctx context.Context, req *Request) (*Result, error) {
+	enc, err := s.session.EncodingCtx(ctx, req.Circuit, req.L)
+	if err != nil {
+		return nil, err
+	}
+	r := &EncodeResult{
+		Circuit: req.Circuit, L: req.L,
+		Seeds: len(enc.Seeds), TDV: enc.TDV(), TSL: enc.TSL(),
+		Checks: enc.ChecksPerformed,
+	}
+	if req.S > 0 && req.K > 0 {
+		idx, err := s.session.IndexCtx(ctx, req.Circuit, req.L)
+		if err != nil {
+			return nil, err
+		}
+		opt := stateskip.DefaultOptions(req.S, req.K)
+		opt.Workers = s.cfg.EngineWorkers
+		red, err := stateskip.ReduceWithIndex(enc, idx, opt)
+		if err != nil {
+			return nil, err
+		}
+		r.S, r.K = req.S, req.K
+		r.ReducedTSL = red.TSL()
+		r.Improvement = red.Improvement()
+	}
+	return &Result{Encode: r}, nil
+}
+
+// coreFor materialises the request's netlist through the content-addressed
+// cache: two requests describing the same circuit — byte-identical bench
+// text or the same generator parameters — share one *Netlist, so the
+// session's per-netlist ATPG tables are levelized once across tenants.
+func (s *Server) coreFor(req *Request) (*netlist.Netlist, error) {
+	core, err := req.materializeCore()
+	if err != nil {
+		return nil, err
+	}
+	h := core.Hash()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cached, ok := s.cores.Get(h); ok {
+		return cached, nil
+	}
+	s.cores.Add(h, core)
+	return core, nil
+}
+
+func (s *Server) runATPG(ctx context.Context, req *Request) (*Result, error) {
+	strategy, ok := atpg.ParseBacktrace(req.Backtrace)
+	if !ok {
+		return nil, fmt.Errorf("server: unknown backtrace %q (want scoap or multi)", req.Backtrace)
+	}
+	core, err := s.coreFor(req)
+	if err != nil {
+		return nil, err
+	}
+	st, err := core.Summary()
+	if err != nil {
+		return nil, err
+	}
+	u, res, err := s.session.ATPGOptsCtx(ctx, core, atpg.Options{
+		FaultDrop: true, FillSeed: req.Seed,
+		BacktrackLimit: req.Backtrack, Backtrace: strategy,
+	})
+	if err != nil {
+		if res != nil { // partial progress from a cancelled/deadlined run
+			return &Result{ATPG: atpgResult(st, u, res)}, err
+		}
+		return nil, err
+	}
+	return &Result{ATPG: atpgResult(st, u, res)}, nil
+}
+
+func atpgResult(st netlist.Stats, u *faultsim.Universe, res *atpg.Result) *ATPGResult {
+	return &ATPGResult{
+		Inputs: st.Inputs, Outputs: st.Outputs, Gates: st.Gates,
+		Faults: len(u.Faults), Detected: res.Detected,
+		Untestable: res.Untestable, Aborted: res.Aborted,
+		Cubes: res.Cubes.Len(), Backtracks: res.Backtracks,
+		Coverage: res.Coverage,
+	}
+}
+
+func (s *Server) runCoverage(ctx context.Context, req *Request) (*Result, error) {
+	core, err := s.coreFor(req)
+	if err != nil {
+		return nil, err
+	}
+	u := faultsim.NewUniverse(core)
+	rnd := prng.New(req.Seed)
+	patterns := make([][]uint8, req.Patterns)
+	for i := range patterns {
+		p := make([]uint8, len(core.Inputs))
+		for b := range p {
+			p[b] = rnd.Bit()
+		}
+		patterns[i] = p
+	}
+	detected, cov, err := faultsim.CoverageCtx(ctx, u, patterns, faultsim.Options{Workers: s.cfg.EngineWorkers})
+	if err != nil {
+		return nil, err
+	}
+	nd := 0
+	for _, d := range detected {
+		if d {
+			nd++
+		}
+	}
+	return &Result{Coverage: &CoverageResult{
+		Faults: len(u.Faults), Detected: nd,
+		Patterns: req.Patterns, Coverage: cov,
+	}}, nil
+}
