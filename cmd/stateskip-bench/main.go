@@ -1,0 +1,200 @@
+// Command stateskip-bench is the reproducible paper-run harness: it runs
+// an experiments.json grid through the experiments.Session pipeline,
+// writes a timestamped run directory with per-cell CSVs and logs, and
+// snapshots every machine-checkable number into a schema-versioned
+// BENCH_<stamp>.json at the repository root — the perf trajectory CI
+// diffs run over run.
+//
+// Usage:
+//
+//	stateskip-bench [-grid experiments.json] [-scale ci|paper] [-out benchruns] [-stamp TAG] [-snapshot PATH | -no-snapshot]
+//	stateskip-bench -analyze [-scale ci|paper] RUNDIR
+//	stateskip-bench -diff [-wall-tol 1.5] [-min-wall-ms 50] OLD.json NEW.json
+//
+// Flags precede positional arguments (standard Go flag parsing).
+//
+// The default mode runs the grid: -grid names an experiments.json file
+// (when the flag is left at its default and no such file exists, the
+// built-in grid for -scale is used), the run directory lands under -out,
+// and the snapshot is written to -snapshot (default BENCH_<stamp>.json in
+// the current directory). ^C cancels cleanly between and inside cells.
+//
+// -analyze validates a run directory's CSVs against the pipeline's
+// structural identities (TDV = seeds × n, TSL = seeds × L, coverage in
+// [0,1]), renders the paper's Tables 1–4 and Fig. 4 as Markdown on stdout
+// using the exact renderers of cmd/stateskip, and writes tables.md and
+// tables.tex into the run directory.
+//
+// -diff compares two snapshots and exits 1 when the new one regresses:
+// deterministic counters must match exactly (the pipeline guarantees
+// bit-identical counters across machines and worker counts), wall-clock
+// metrics may slow at most -wall-tol× on cells that took ≥ -min-wall-ms
+// before. -wall-tol 0 disables wall-clock comparison — the right setting
+// when the reference snapshot was produced on different hardware.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/benchprofile"
+	"repro/internal/benchrun"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	code, err := run(ctx, os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stateskip-bench:", err)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "stateskip-bench: interrupted — partial run directory left for inspection")
+		}
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// run dispatches the three modes and returns the process exit code.
+func run(ctx context.Context, args []string) (int, error) {
+	fs := flag.NewFlagSet("stateskip-bench", flag.ContinueOnError)
+	gridPath := fs.String("grid", "experiments.json", "experiment grid file (missing default falls back to -scale's built-in grid)")
+	scaleFlag := fs.String("scale", "ci", "grid scale when no grid file is used, and table scale for -analyze")
+	outDir := fs.String("out", "benchruns", "parent directory for timestamped run directories")
+	stamp := fs.String("stamp", "", "override the run stamp (default: current UTC time)")
+	snapshot := fs.String("snapshot", "", "snapshot path (default: BENCH_<stamp>.json in the current directory)")
+	noSnapshot := fs.Bool("no-snapshot", false, "skip writing the repo-root snapshot (the run directory still gets CSVs)")
+	analyze := fs.Bool("analyze", false, "analyze a run directory instead of running: validate CSVs, render tables")
+	diff := fs.Bool("diff", false, "diff two snapshots instead of running: exit 1 on regression")
+	wallTol := fs.Float64("wall-tol", 1.5, "allowed wall-clock slowdown factor for -diff (0 disables wall comparison)")
+	minWallMS := fs.Int64("min-wall-ms", 50, "ignore wall-clock cells faster than this in the old snapshot for -diff")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	scale := benchprofile.ScaleCI
+	switch *scaleFlag {
+	case "ci":
+	case "paper":
+		scale = benchprofile.ScalePaper
+	default:
+		return 2, fmt.Errorf("unknown -scale %q (want ci or paper)", *scaleFlag)
+	}
+
+	switch {
+	case *analyze:
+		if fs.NArg() != 1 {
+			return 2, fmt.Errorf("-analyze wants exactly one run directory argument")
+		}
+		return runAnalyze(fs.Arg(0), scale)
+	case *diff:
+		if fs.NArg() != 2 {
+			return 2, fmt.Errorf("-diff wants exactly two snapshot arguments: OLD.json NEW.json")
+		}
+		return runDiff(fs.Arg(0), fs.Arg(1), benchrun.Tolerance{
+			WallFactor: *wallTol,
+			MinWallNS:  *minWallMS * int64(time.Millisecond),
+		})
+	default:
+		if fs.NArg() != 0 {
+			return 2, fmt.Errorf("unexpected arguments %v (use -analyze or -diff for those modes)", fs.Args())
+		}
+		return runGrid(ctx, *gridPath, scale, *outDir, *stamp, *snapshot, *noSnapshot)
+	}
+}
+
+// runGrid executes the grid and writes the run directory plus snapshot.
+func runGrid(ctx context.Context, gridPath string, scale benchprofile.Scale, outDir, stamp, snapshot string, noSnapshot bool) (int, error) {
+	var grid benchrun.Grid
+	if _, err := os.Stat(gridPath); err == nil {
+		grid, err = benchrun.LoadGrid(gridPath)
+		if err != nil {
+			return 1, err
+		}
+		fmt.Printf("grid: %s (scale %s)\n", gridPath, grid.Scale)
+	} else if !os.IsNotExist(err) {
+		return 1, err
+	} else {
+		grid = benchrun.DefaultGrid(scale)
+		fmt.Printf("grid: built-in %s default (%s not found)\n", grid.Scale, gridPath)
+	}
+	if stamp == "" {
+		stamp = time.Now().UTC().Format("20060102T150405Z")
+	}
+	dir := filepath.Join(outDir, stamp)
+	if snapshot == "" && !noSnapshot {
+		snapshot = benchrun.SnapshotName(stamp)
+	}
+	if noSnapshot {
+		snapshot = ""
+	}
+	snap, err := benchrun.Run(ctx, benchrun.RunOptions{
+		Grid:         grid,
+		Dir:          dir,
+		SnapshotPath: snapshot,
+		Stamp:        stamp,
+		Log:          os.Stdout,
+	})
+	if err != nil {
+		return 1, err
+	}
+	fmt.Printf("run directory: %s\n", dir)
+	if snapshot != "" {
+		fmt.Printf("snapshot: %s (%d encode, %d atpg, %d session cells)\n",
+			snapshot, len(snap.Encode), len(snap.ATPG), len(snap.Sessions))
+	}
+	return 0, nil
+}
+
+// runAnalyze validates a run directory and renders its tables.
+func runAnalyze(dir string, scale benchprofile.Scale) (int, error) {
+	rep, err := benchrun.Analyze(dir, scale)
+	if err != nil {
+		return 1, err
+	}
+	md := rep.Markdown()
+	fmt.Print(md)
+	if err := os.WriteFile(filepath.Join(dir, "tables.md"), []byte(md), 0o644); err != nil {
+		return 1, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "tables.tex"), []byte(rep.LaTeX()), 0o644); err != nil {
+		return 1, err
+	}
+	fmt.Printf("\nvalidated %d encode, %d atpg, %d session cells; wrote tables.md and tables.tex to %s\n",
+		rep.EncodeCells, rep.ATPGCells, rep.SessionCells, dir)
+	return 0, nil
+}
+
+// runDiff compares two snapshots; regressions exit 1.
+func runDiff(oldPath, newPath string, tol benchrun.Tolerance) (int, error) {
+	oldSnap, err := benchrun.ReadSnapshot(oldPath)
+	if err != nil {
+		return 1, err
+	}
+	newSnap, err := benchrun.ReadSnapshot(newPath)
+	if err != nil {
+		return 1, err
+	}
+	regs, err := benchrun.Diff(oldSnap, newSnap, tol)
+	if err != nil {
+		return 1, err
+	}
+	if len(regs) > 0 {
+		fmt.Print(benchrun.DiffReport(regs))
+		return 1, fmt.Errorf("%s regresses against %s", newPath, oldPath)
+	}
+	fmt.Printf("clean: %s matches %s (counters exact, wall within tolerance)\n", newPath, oldPath)
+	return 0, nil
+}

@@ -1,0 +1,344 @@
+package benchrun
+
+import (
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/benchprofile"
+	"repro/internal/experiments"
+	"repro/internal/litdata"
+)
+
+// Report is the analyzer's output over one run directory: the validated
+// cell counts plus the paper tables reconstructed from the CSVs, ready to
+// render as Markdown or LaTeX.
+type Report struct {
+	// Scale the tables were regenerated at (from the grid/snapshot).
+	Scale benchprofile.Scale
+	// EncodeCells, ATPGCells and SessionCells count the validated rows of
+	// the cell CSVs.
+	EncodeCells, ATPGCells, SessionCells int
+	// Table1 holds the reconstructed Table 1 rows; the sibling fields
+	// hold the other reconstructed tables and both Fig. 4 sweeps.
+	Table1     []experiments.Table1Row
+	Table2     []experiments.Table2Row  // reconstructed Table 2
+	Table3     []experiments.Table3Row  // reconstructed Table 3
+	Table4     []experiments.Table4Row  // reconstructed Table 4
+	Fig4Bars   []experiments.Fig4Series // Fig. 4 segment-size sweep
+	Fig4Curves []experiments.Fig4Series // Fig. 4 window-length sweep
+}
+
+// Analyze validates a run directory's CSVs and reconstructs the paper
+// tables from them. Validation checks the structural identities the
+// pipeline guarantees — TDV = seeds × n, TSL = seeds × L, coverage within
+// [0,1] — so a harness bug that desynchronizes the CSVs from the engines
+// fails loudly here rather than producing plausible-looking tables.
+func Analyze(dir string, scale benchprofile.Scale) (*Report, error) {
+	rep := &Report{Scale: scale}
+	if err := rep.loadCells(dir); err != nil {
+		return nil, err
+	}
+	if err := rep.loadTable1(dir); err != nil {
+		return nil, err
+	}
+	if err := rep.loadTable2(dir); err != nil {
+		return nil, err
+	}
+	if err := rep.loadTable3(dir); err != nil {
+		return nil, err
+	}
+	if err := rep.loadTable4(dir); err != nil {
+		return nil, err
+	}
+	if err := rep.loadFig4(dir); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// Markdown renders the reconstructed tables with the same renderers
+// cmd/stateskip uses, so the analyzer's output is comparable line for line
+// with a live experiments run.
+func (r *Report) Markdown() string {
+	sess := experiments.NewSession(r.Scale)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Paper tables (%s scale, %d encode / %d atpg cells)\n\n",
+		r.Scale, r.EncodeCells, r.ATPGCells)
+	b.WriteString(sess.Table1Markdown(r.Table1))
+	b.WriteString("\n")
+	b.WriteString(sess.Table2Markdown(r.Table2))
+	b.WriteString("\n")
+	b.WriteString(sess.Table3Markdown(r.Table3))
+	b.WriteString("\n")
+	b.WriteString(sess.Table4Markdown(r.Table4))
+	b.WriteString("\n")
+	b.WriteString(sess.Fig4Markdown(r.Fig4Bars, r.Fig4Curves))
+	return b.String()
+}
+
+// atoiField parses one CSV integer field with row context in the error.
+func atoiField(path string, row int, field, v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("benchrun: %s row %d: %s %q: %w", path, row, field, v, err)
+	}
+	return n, nil
+}
+
+func atofField(path string, row int, field, v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("benchrun: %s row %d: %s %q: %w", path, row, field, v, err)
+	}
+	return f, nil
+}
+
+// loadCells validates the three cell CSVs and records their row counts.
+func (r *Report) loadCells(dir string) error {
+	p := filepath.Join(dir, EncodeCSV)
+	rows, err := readCSV(p, encodeHeader)
+	if err != nil {
+		return err
+	}
+	for i, rec := range rows {
+		L, err := atoiField(p, i, "L", rec[1])
+		if err != nil {
+			return err
+		}
+		seeds, err := atoiField(p, i, "seeds", rec[4])
+		if err != nil {
+			return err
+		}
+		tdv, err := atoiField(p, i, "tdv", rec[5])
+		if err != nil {
+			return err
+		}
+		tsl, err := atoiField(p, i, "tsl", rec[6])
+		if err != nil {
+			return err
+		}
+		if seeds <= 0 || tdv%seeds != 0 || tsl != seeds*L {
+			return fmt.Errorf("benchrun: %s row %d (%s L=%d): seeds=%d tdv=%d tsl=%d violate TDV=seeds×n, TSL=seeds×L",
+				p, i, rec[0], L, seeds, tdv, tsl)
+		}
+	}
+	r.EncodeCells = len(rows)
+
+	p = filepath.Join(dir, ATPGCSV)
+	rows, err = readCSV(p, atpgHeader)
+	if err != nil {
+		return err
+	}
+	for i, rec := range rows {
+		cov, err := atofField(p, i, "coverage", rec[10])
+		if err != nil {
+			return err
+		}
+		if cov < 0 || cov > 1 {
+			return fmt.Errorf("benchrun: %s row %d (%s): coverage %v out of [0,1]", p, i, rec[0], cov)
+		}
+	}
+	r.ATPGCells = len(rows)
+
+	rows, err = readCSV(filepath.Join(dir, SessionCSV), sessionHeader)
+	if err != nil {
+		return err
+	}
+	r.SessionCells = len(rows)
+	return nil
+}
+
+// loadTable1 reconstructs Table 1 rows, grouping consecutive cells of one
+// circuit, and cross-checks each cell against the same identities the
+// encoder guarantees (TDV = seeds × n with the row's own LFSR size).
+func (r *Report) loadTable1(dir string) error {
+	p := filepath.Join(dir, Table1CSV)
+	rows, err := readCSV(p, table1Header)
+	if err != nil {
+		return err
+	}
+	for i, rec := range rows {
+		n, err := atoiField(p, i, "lfsr_n", rec[1])
+		if err != nil {
+			return err
+		}
+		L, err := atoiField(p, i, "L", rec[2])
+		if err != nil {
+			return err
+		}
+		seeds, err := atoiField(p, i, "seeds", rec[3])
+		if err != nil {
+			return err
+		}
+		tdv, err := atoiField(p, i, "tdv", rec[4])
+		if err != nil {
+			return err
+		}
+		tsl, err := atoiField(p, i, "tsl", rec[5])
+		if err != nil {
+			return err
+		}
+		if tdv != seeds*n || tsl != seeds*L {
+			return fmt.Errorf("benchrun: %s row %d (%s): tdv=%d tsl=%d violate seeds=%d × n=%d / L=%d",
+				p, i, rec[0], tdv, tsl, seeds, n, L)
+		}
+		if len(r.Table1) == 0 || r.Table1[len(r.Table1)-1].Circuit != rec[0] {
+			r.Table1 = append(r.Table1, experiments.Table1Row{Circuit: rec[0], LFSRSize: n})
+		}
+		last := &r.Table1[len(r.Table1)-1]
+		last.Cells = append(last.Cells, experiments.Table1Cell{L: L, Seeds: seeds, TDV: tdv, TSL: tsl})
+	}
+	return nil
+}
+
+// loadTable2 reconstructs Table 2 rows.
+func (r *Report) loadTable2(dir string) error {
+	p := filepath.Join(dir, Table2CSV)
+	rows, err := readCSV(p, table2Header)
+	if err != nil {
+		return err
+	}
+	for i, rec := range rows {
+		var c experiments.Table2Cell
+		var err error
+		if c.L, err = atoiField(p, i, "L", rec[1]); err != nil {
+			return err
+		}
+		if c.Orig, err = atoiField(p, i, "orig", rec[2]); err != nil {
+			return err
+		}
+		if c.Prop, err = atoiField(p, i, "prop", rec[3]); err != nil {
+			return err
+		}
+		if c.Impr, err = atofField(p, i, "impr", rec[4]); err != nil {
+			return err
+		}
+		if c.BestS, err = atoiField(p, i, "best_s", rec[5]); err != nil {
+			return err
+		}
+		if c.BestK, err = atoiField(p, i, "best_k", rec[6]); err != nil {
+			return err
+		}
+		if c.Prop > c.Orig {
+			return fmt.Errorf("benchrun: %s row %d (%s): proposed TSL %d exceeds original %d", p, i, rec[0], c.Prop, c.Orig)
+		}
+		if len(r.Table2) == 0 || r.Table2[len(r.Table2)-1].Circuit != rec[0] {
+			r.Table2 = append(r.Table2, experiments.Table2Row{Circuit: rec[0]})
+		}
+		last := &r.Table2[len(r.Table2)-1]
+		last.Cells = append(last.Cells, c)
+	}
+	return nil
+}
+
+// loadTable3 reconstructs Table 3 rows.
+func (r *Report) loadTable3(dir string) error {
+	p := filepath.Join(dir, Table3CSV)
+	rows, err := readCSV(p, table3Header)
+	if err != nil {
+		return err
+	}
+	for i, rec := range rows {
+		row := experiments.Table3Row{Circuit: rec[0]}
+		var err error
+		if row.PropTDV, err = atoiField(p, i, "prop_tdv", rec[1]); err != nil {
+			return err
+		}
+		if row.PropTSL, err = atoiField(p, i, "prop_tsl", rec[2]); err != nil {
+			return err
+		}
+		if row.Lit11.TDV, err = atoiField(p, i, "lit11_tdv", rec[3]); err != nil {
+			return err
+		}
+		if row.Lit11.TSL, err = atoiField(p, i, "lit11_tsl", rec[4]); err != nil {
+			return err
+		}
+		if row.Lit22.TDV, err = atoiField(p, i, "lit22_tdv", rec[5]); err != nil {
+			return err
+		}
+		if row.Lit22.TSL, err = atoiField(p, i, "lit22_tsl", rec[6]); err != nil {
+			return err
+		}
+		if row.Impr11, err = atofField(p, i, "impr11", rec[7]); err != nil {
+			return err
+		}
+		if row.Impr22, err = atofField(p, i, "impr22", rec[8]); err != nil {
+			return err
+		}
+		r.Table3 = append(r.Table3, row)
+	}
+	return nil
+}
+
+// loadTable4 reconstructs Table 4 rows, mapping the comp_* columns back
+// onto the literature's method names.
+func (r *Report) loadTable4(dir string) error {
+	p := filepath.Join(dir, Table4CSV)
+	rows, err := readCSV(p, table4Header())
+	if err != nil {
+		return err
+	}
+	nComp := len(litdata.Table4Compression)
+	for i, rec := range rows {
+		row := experiments.Table4Row{Circuit: rec[0], Compression: make(map[string]int)}
+		for j, m := range litdata.Table4Compression {
+			v, err := atoiField(p, i, "comp_"+m.Name, rec[1+j])
+			if err != nil {
+				return err
+			}
+			row.Compression[m.Name] = v
+		}
+		var errp error
+		if row.ClassicalTDV, errp = atoiField(p, i, "classical_tdv", rec[1+nComp]); errp != nil {
+			return errp
+		}
+		if row.ClassicalTSL, errp = atoiField(p, i, "classical_tsl", rec[2+nComp]); errp != nil {
+			return errp
+		}
+		if row.PropTDV, errp = atoiField(p, i, "prop_tdv", rec[3+nComp]); errp != nil {
+			return errp
+		}
+		if row.PropTSL, errp = atoiField(p, i, "prop_tsl", rec[4+nComp]); errp != nil {
+			return errp
+		}
+		r.Table4 = append(r.Table4, row)
+	}
+	return nil
+}
+
+// loadFig4 reconstructs both Fig. 4 sweeps, grouping consecutive points of
+// one labelled series.
+func (r *Report) loadFig4(dir string) error {
+	p := filepath.Join(dir, Fig4CSV)
+	rows, err := readCSV(p, fig4Header)
+	if err != nil {
+		return err
+	}
+	for i, rec := range rows {
+		k, err := atoiField(p, i, "k", rec[2])
+		if err != nil {
+			return err
+		}
+		impr, err := atofField(p, i, "impr", rec[3])
+		if err != nil {
+			return err
+		}
+		var list *[]experiments.Fig4Series
+		switch rec[0] {
+		case "bar":
+			list = &r.Fig4Bars
+		case "curve":
+			list = &r.Fig4Curves
+		default:
+			return fmt.Errorf("benchrun: %s row %d: unknown kind %q", p, i, rec[0])
+		}
+		if len(*list) == 0 || (*list)[len(*list)-1].Label != rec[1] {
+			*list = append(*list, experiments.Fig4Series{Label: rec[1]})
+		}
+		last := &(*list)[len(*list)-1]
+		last.Points = append(last.Points, experiments.Fig4Point{K: k, Impr: impr})
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package benchrun
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/experiments"
+	"repro/internal/litdata"
+)
+
+// CSV filenames of a run directory. The cell CSVs mirror the snapshot;
+// the table CSVs carry the regenerated paper tables for the analyzer.
+const (
+	// EncodeCSV holds the encode cells.
+	EncodeCSV = "cells_encode.csv"
+	// ATPGCSV holds the ATPG cells.
+	ATPGCSV = "cells_atpg.csv"
+	// SessionCSV holds the per-session cache statistics.
+	SessionCSV = "session.csv"
+	// Table1CSV..Fig4CSV hold the paper tables, one row per cell.
+	Table1CSV = "table1.csv"
+	Table2CSV = "table2.csv"
+	Table3CSV = "table3.csv"
+	Table4CSV = "table4.csv"
+	Fig4CSV   = "fig4.csv"
+)
+
+// writeCSV writes a header plus rows to path.
+func writeCSV(path string, header []string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	w.Write(header) //nolint:errcheck // surfaced by Flush/Error below
+	for _, r := range rows {
+		w.Write(r) //nolint:errcheck
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readCSV reads path and checks the header matches exactly.
+func readCSV(path string, wantHeader []string) ([][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	recs, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("benchrun: %s: %w", path, err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("benchrun: %s: empty", path)
+	}
+	if len(recs[0]) != len(wantHeader) {
+		return nil, fmt.Errorf("benchrun: %s: header %v, want %v", path, recs[0], wantHeader)
+	}
+	for i, h := range wantHeader {
+		if recs[0][i] != h {
+			return nil, fmt.Errorf("benchrun: %s: header %v, want %v", path, recs[0], wantHeader)
+		}
+	}
+	return recs[1:], nil
+}
+
+func itoa(v int) string     { return strconv.Itoa(v) }
+func i64toa(v int64) string { return strconv.FormatInt(v, 10) }
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+var (
+	encodeHeader  = []string{"circuit", "L", "workers", "repeat", "seeds", "tdv", "tsl", "checks", "wall_ns"}
+	atpgHeader    = []string{"circuit", "backtrace", "workers", "repeat", "faults", "detected", "untestable", "aborted", "backtracks", "cubes", "coverage", "wall_ns"}
+	sessionHeader = []string{"workers", "repeat", "tables", "set_builds", "encoding_builds", "index_builds", "table_builds", "hits", "hit_rate", "evictions", "set_build_ns", "encoding_build_ns", "index_build_ns", "table_build_ns"}
+	table1Header  = []string{"circuit", "lfsr_n", "L", "seeds", "tdv", "tsl"}
+	table2Header  = []string{"circuit", "L", "orig", "prop", "impr", "best_s", "best_k"}
+	table3Header  = []string{"circuit", "prop_tdv", "prop_tsl", "lit11_tdv", "lit11_tsl", "lit22_tdv", "lit22_tsl", "impr11", "impr22"}
+	fig4Header    = []string{"kind", "label", "k", "impr"}
+)
+
+// table4Header depends on the literature's compression-method list, so it
+// is assembled once: circuit, one TDV column per published method, then
+// the measured classical/proposed columns.
+func table4Header() []string {
+	h := []string{"circuit"}
+	for _, m := range litdata.Table4Compression {
+		h = append(h, "comp_"+m.Name)
+	}
+	return append(h, "classical_tdv", "classical_tsl", "prop_tdv", "prop_tsl")
+}
+
+// writeCellCSVs writes the snapshot's cells as the run directory's CSVs.
+func writeCellCSVs(dir string, s *Snapshot) error {
+	enc := make([][]string, len(s.Encode))
+	for i, c := range s.Encode {
+		enc[i] = []string{c.Circuit, itoa(c.L), itoa(c.Workers), itoa(c.Repeat),
+			itoa(c.Seeds), itoa(c.TDV), itoa(c.TSL), i64toa(c.Checks), i64toa(c.WallNS)}
+	}
+	if err := writeCSV(filepath.Join(dir, EncodeCSV), encodeHeader, enc); err != nil {
+		return err
+	}
+	at := make([][]string, len(s.ATPG))
+	for i, c := range s.ATPG {
+		at[i] = []string{c.Circuit, c.Backtrace, itoa(c.Workers), itoa(c.Repeat),
+			itoa(c.Faults), itoa(c.Detected), itoa(c.Untestable), itoa(c.Aborted),
+			itoa(c.Backtracks), itoa(c.Cubes), ftoa(c.Coverage), i64toa(c.WallNS)}
+	}
+	if err := writeCSV(filepath.Join(dir, ATPGCSV), atpgHeader, at); err != nil {
+		return err
+	}
+	se := make([][]string, len(s.Sessions))
+	for i, c := range s.Sessions {
+		se[i] = []string{itoa(c.Workers), itoa(c.Repeat), strconv.FormatBool(c.Tables),
+			i64toa(c.SetBuilds), i64toa(c.EncodingBuilds), i64toa(c.IndexBuilds), i64toa(c.TableBuilds),
+			i64toa(c.Hits), ftoa(c.HitRate), i64toa(c.Evictions),
+			i64toa(c.SetBuildNS), i64toa(c.EncodingBuildNS), i64toa(c.IndexBuildNS), i64toa(c.TableBuildNS)}
+	}
+	return writeCSV(filepath.Join(dir, SessionCSV), sessionHeader, se)
+}
+
+// writeTableCSVs writes the regenerated paper tables into the run
+// directory, one CSV row per table cell, in the tables' own row order.
+func writeTableCSVs(dir string, t1 []experiments.Table1Row, t2 []experiments.Table2Row,
+	t3 []experiments.Table3Row, t4 []experiments.Table4Row, bars, curves []experiments.Fig4Series) error {
+	var r1 [][]string
+	for _, row := range t1 {
+		for _, c := range row.Cells {
+			r1 = append(r1, []string{row.Circuit, itoa(row.LFSRSize), itoa(c.L), itoa(c.Seeds), itoa(c.TDV), itoa(c.TSL)})
+		}
+	}
+	if err := writeCSV(filepath.Join(dir, Table1CSV), table1Header, r1); err != nil {
+		return err
+	}
+	var r2 [][]string
+	for _, row := range t2 {
+		for _, c := range row.Cells {
+			r2 = append(r2, []string{row.Circuit, itoa(c.L), itoa(c.Orig), itoa(c.Prop), ftoa(c.Impr), itoa(c.BestS), itoa(c.BestK)})
+		}
+	}
+	if err := writeCSV(filepath.Join(dir, Table2CSV), table2Header, r2); err != nil {
+		return err
+	}
+	var r3 [][]string
+	for _, row := range t3 {
+		r3 = append(r3, []string{row.Circuit, itoa(row.PropTDV), itoa(row.PropTSL),
+			itoa(row.Lit11.TDV), itoa(row.Lit11.TSL), itoa(row.Lit22.TDV), itoa(row.Lit22.TSL),
+			ftoa(row.Impr11), ftoa(row.Impr22)})
+	}
+	if err := writeCSV(filepath.Join(dir, Table3CSV), table3Header, r3); err != nil {
+		return err
+	}
+	var r4 [][]string
+	for _, row := range t4 {
+		rec := []string{row.Circuit}
+		for _, m := range litdata.Table4Compression {
+			rec = append(rec, itoa(row.Compression[m.Name]))
+		}
+		rec = append(rec, itoa(row.ClassicalTDV), itoa(row.ClassicalTSL), itoa(row.PropTDV), itoa(row.PropTSL))
+		r4 = append(r4, rec)
+	}
+	if err := writeCSV(filepath.Join(dir, Table4CSV), table4Header(), r4); err != nil {
+		return err
+	}
+	var rf [][]string
+	for _, s := range bars {
+		for _, p := range s.Points {
+			rf = append(rf, []string{"bar", s.Label, itoa(p.K), ftoa(p.Impr)})
+		}
+	}
+	for _, s := range curves {
+		for _, p := range s.Points {
+			rf = append(rf, []string{"curve", s.Label, itoa(p.K), ftoa(p.Impr)})
+		}
+	}
+	return writeCSV(filepath.Join(dir, Fig4CSV), fig4Header, rf)
+}

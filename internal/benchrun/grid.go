@@ -1,0 +1,183 @@
+// Package benchrun is the reproducible paper-run harness: it expands an
+// experiments.json grid (circuits × window lengths × backtrace strategies
+// × workers × repeats) into measured cells driven through
+// experiments.Session, writes a timestamped run directory with per-cell
+// CSVs and logs, snapshots every machine-checkable number into a
+// schema-versioned BENCH_<stamp>.json at the repository root, renders the
+// paper's Tables 1–4 and Fig. 4 as Markdown and LaTeX from the CSVs, and
+// diffs two snapshots with per-metric tolerances so CI fails on perf
+// regressions. cmd/stateskip-bench is the thin CLI over this package.
+//
+// Determinism contract: every counter in a snapshot (seeds, TDV, TSL,
+// ChecksPerformed, backtracks, aborts, coverage, cache builds/hits) is
+// bit-identical across machines and worker counts — the pipeline packages
+// guarantee it — so Diff compares them exactly; only wall-clock fields
+// are hardware-dependent and thresholded (or skipped) instead.
+package benchrun
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/atpg"
+	"repro/internal/benchprofile"
+	"repro/internal/experiments"
+)
+
+// GridSchemaVersion is the experiments.json format this package reads.
+const GridSchemaVersion = 1
+
+// Grid is the experiment grid of one harness run, the JSON shape of
+// experiments.json. The encode axis is Circuits × WindowLengths; the ATPG
+// axis is Circuits × Backtraces; both expand further over Workers ×
+// Repeats. A zero field falls back to the scale's default (see
+// DefaultGrid).
+type Grid struct {
+	// SchemaVersion pins the grid format; LoadGrid rejects others.
+	SchemaVersion int `json:"schema_version"`
+	// Scale selects the workload sizes: "ci" or "paper".
+	Scale string `json:"scale"`
+	// Circuits are benchprofile names (empty = all five ISCAS'89 cores).
+	Circuits []string `json:"circuits"`
+	// WindowLengths are the encode-cell L values (empty = the scale's
+	// Table 1 sweep, so grid cells and the paper tables share encodings).
+	WindowLengths []int `json:"window_lengths"`
+	// Backtraces are the ATPG-cell PODEM strategies: "scoap", "multi".
+	Backtraces []string `json:"backtraces"`
+	// Workers are the session worker budgets to run the whole grid under
+	// (1 = strictly serial; 0 = all CPUs). Counters are bit-identical
+	// across entries; only wall clock differs.
+	Workers []int `json:"workers"`
+	// Repeats is the number of independent repeats (fresh sessions), for
+	// wall-clock spread. Counters are identical across repeats.
+	Repeats int `json:"repeats"`
+	// ATPG sizes the deterministic random core each circuit's ATPG cell
+	// runs on.
+	ATPG ATPGGrid `json:"atpg"`
+}
+
+// ATPGGrid sizes the gate-level cores of the ATPG cells. Each circuit's
+// core is generated deterministically from its benchprofile seed, so two
+// runs of the same grid ATPG the same netlists.
+type ATPGGrid struct {
+	// Inputs sizes the generated core's primary inputs.
+	Inputs  int `json:"inputs"`
+	Outputs int `json:"outputs"` // primary outputs of the core
+	Gates   int `json:"gates"`   // gate count of the core
+	// MaxFan bounds gate fan-in (≥ 2).
+	MaxFan int `json:"max_fan"`
+	// BacktrackLimit is the PODEM abort threshold (the paper-trajectory
+	// numbers in PERFORMANCE.md use 20).
+	BacktrackLimit int `json:"backtrack_limit"`
+}
+
+// DefaultGrid returns the built-in grid for a scale: every circuit, the
+// scale's Table 1 window sweep, both backtrace strategies, and a CI-sized
+// (or paper-sized) random core per circuit. The CI default is what the CI
+// bench-smoke step runs; the paper default adds a workers=0 column and
+// three repeats so a multi-core machine records the parallel speedup.
+func DefaultGrid(scale benchprofile.Scale) Grid {
+	g := Grid{
+		SchemaVersion: GridSchemaVersion,
+		Scale:         scale.String(),
+		Circuits:      benchprofile.Names(),
+		WindowLengths: experiments.ParamsFor(scale).Table1Ls,
+		Backtraces:    []string{"scoap", "multi"},
+		Workers:       []int{1},
+		Repeats:       1,
+		ATPG:          ATPGGrid{Inputs: 80, Outputs: 48, Gates: 260, MaxFan: 3, BacktrackLimit: 20},
+	}
+	if scale == benchprofile.ScalePaper {
+		g.Workers = []int{1, 0}
+		g.Repeats = 3
+		g.ATPG = ATPGGrid{Inputs: 400, Outputs: 160, Gates: 4000, MaxFan: 3, BacktrackLimit: 20}
+	}
+	return g
+}
+
+// LoadGrid reads and validates an experiments.json grid file, filling
+// defaulted fields from the grid's own scale.
+func LoadGrid(path string) (Grid, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Grid{}, err
+	}
+	var g Grid
+	if err := json.Unmarshal(data, &g); err != nil {
+		return Grid{}, fmt.Errorf("benchrun: %s: %w", path, err)
+	}
+	if err := g.fill(); err != nil {
+		return Grid{}, fmt.Errorf("benchrun: %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// BenchScale resolves the grid's scale string.
+func (g *Grid) BenchScale() benchprofile.Scale {
+	if g.Scale == "paper" {
+		return benchprofile.ScalePaper
+	}
+	return benchprofile.ScaleCI
+}
+
+// fill validates the grid and substitutes scale defaults for empty axes.
+func (g *Grid) fill() error {
+	if g.SchemaVersion == 0 {
+		g.SchemaVersion = GridSchemaVersion
+	}
+	if g.SchemaVersion != GridSchemaVersion {
+		return fmt.Errorf("grid schema_version %d, this build reads %d", g.SchemaVersion, GridSchemaVersion)
+	}
+	switch g.Scale {
+	case "":
+		g.Scale = "ci"
+	case "ci", "paper":
+	default:
+		return fmt.Errorf("unknown scale %q (want ci or paper)", g.Scale)
+	}
+	def := DefaultGrid(g.BenchScale())
+	if len(g.Circuits) == 0 {
+		g.Circuits = def.Circuits
+	}
+	for _, c := range g.Circuits {
+		if _, err := benchprofile.ByName(c, g.BenchScale()); err != nil {
+			return err
+		}
+	}
+	if len(g.WindowLengths) == 0 {
+		g.WindowLengths = def.WindowLengths
+	}
+	for _, L := range g.WindowLengths {
+		if L < 1 {
+			return fmt.Errorf("window length %d must be ≥ 1", L)
+		}
+	}
+	if len(g.Backtraces) == 0 {
+		g.Backtraces = def.Backtraces
+	}
+	for _, b := range g.Backtraces {
+		if _, ok := atpg.ParseBacktrace(b); !ok {
+			return fmt.Errorf("unknown backtrace %q (want scoap or multi)", b)
+		}
+	}
+	if len(g.Workers) == 0 {
+		g.Workers = def.Workers
+	}
+	if g.Repeats <= 0 {
+		g.Repeats = def.Repeats
+	}
+	if g.ATPG.Inputs == 0 && g.ATPG.Outputs == 0 && g.ATPG.Gates == 0 {
+		g.ATPG = def.ATPG
+	}
+	if g.ATPG.Inputs < 2 || g.ATPG.Outputs < 1 || g.ATPG.Gates < 1 {
+		return fmt.Errorf("atpg core needs ≥2 inputs, ≥1 output, ≥1 gate (got %+v)", g.ATPG)
+	}
+	if g.ATPG.MaxFan < 2 {
+		g.ATPG.MaxFan = 3
+	}
+	if g.ATPG.BacktrackLimit < 0 {
+		return fmt.Errorf("negative backtrack limit %d", g.ATPG.BacktrackLimit)
+	}
+	return nil
+}

@@ -1,0 +1,240 @@
+package benchrun
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// SnapshotSchemaVersion is the BENCH_*.json format this build emits and
+// diffs. Bump it on any field change; Diff refuses mismatched versions so
+// a stale binary never silently compares incompatible snapshots.
+const SnapshotSchemaVersion = 1
+
+// Snapshot is the machine-readable record of one harness run — the
+// BENCH_<stamp>.json file at the repository root. Field order in the
+// emitted JSON is deterministic (encoding/json marshals struct fields in
+// declaration order), so snapshots diff cleanly as text too.
+type Snapshot struct {
+	// SchemaVersion pins the snapshot format (SnapshotSchemaVersion).
+	SchemaVersion int `json:"schema_version"`
+	// Stamp is the run's timestamp tag (UTC, 20060102T150405Z) — also the
+	// run directory name.
+	Stamp string `json:"stamp"`
+	// Scale is the workload scale the grid ran at ("ci" or "paper").
+	Scale string `json:"scale"`
+	// GoVersion and Host record the measurement environment; wall-clock
+	// fields are only comparable within a similar environment (Diff
+	// thresholds or skips them accordingly).
+	GoVersion string `json:"go_version"`
+	// Host describes the hardware the run measured wall clock on.
+	Host HostInfo `json:"host"`
+	// Grid is the expanded grid that produced the cells below.
+	Grid Grid `json:"grid"`
+	// Encode holds one cell per circuit × L × workers × repeat.
+	Encode []EncodeCell `json:"encode_cells"`
+	// ATPG holds one cell per circuit × backtrace × workers × repeat.
+	ATPG []ATPGCell `json:"atpg_cells"`
+	// Sessions holds per-(workers, repeat) artefact-cache statistics.
+	Sessions []SessionCell `json:"session_stats"`
+	// TotalWallNS is the whole run's wall time, tables included.
+	TotalWallNS int64 `json:"total_wall_ns"`
+}
+
+// HostInfo captures where wall-clock numbers were measured.
+type HostInfo struct {
+	// OS is GOOS at run time.
+	OS   string `json:"os"`
+	Arch string `json:"arch"` // GOARCH at run time
+	// CPUs is runtime.NumCPU at run time.
+	CPUs int `json:"cpus"`
+}
+
+// EncodeCell is one measured encoding: the window-based reseeding of one
+// circuit's cube set at window length L. Every field except WallNS is a
+// deterministic counter.
+type EncodeCell struct {
+	// Circuit keys the cell together with L, Workers and Repeat.
+	Circuit string `json:"circuit"`
+	L       int    `json:"L"`       // window length
+	Workers int    `json:"workers"` // session worker budget (0 = all CPUs)
+	Repeat  int    `json:"repeat"`  // repeat index within the grid
+	// Seeds is the encoding's seed count; TDV and TSL follow the paper's
+	// test-data-volume and test-sequence-length definitions.
+	Seeds int `json:"seeds"`
+	TDV   int `json:"tdv"` // seeds × LFSR size
+	TSL   int `json:"tsl"` // seeds × L
+	// Checks is encoder.Encoding.ChecksPerformed — the linear-system
+	// consistency checks the candidate scan performed.
+	Checks int64 `json:"checks"`
+	// WallNS is the cold-build wall time of this cell within its session.
+	WallNS int64 `json:"wall_ns"`
+}
+
+// ATPGCell is one measured PODEM + fault-drop run over a circuit's
+// deterministic random core. Every field except WallNS is a deterministic
+// counter.
+type ATPGCell struct {
+	// Circuit keys the cell together with Backtrace, Workers and Repeat.
+	Circuit   string `json:"circuit"`
+	Backtrace string `json:"backtrace"` // PODEM strategy: "scoap" or "multi"
+	Workers   int    `json:"workers"`   // session worker budget (0 = all CPUs)
+	Repeat    int    `json:"repeat"`    // repeat index within the grid
+	// Faults is the collapsed fault-universe size of the core.
+	Faults int `json:"faults"`
+	// Detected counts faults covered by the generated cubes; Untestable
+	// and Aborted complete the partition of processed faults.
+	Detected   int `json:"detected"`
+	Untestable int `json:"untestable"` // proven redundant
+	Aborted    int `json:"aborted"`    // abandoned at the backtrack limit
+	// Backtracks totals committed PODEM backtracks (the decision-quality
+	// metric the backtrace strategies compete on).
+	Backtracks int `json:"backtracks"`
+	// Cubes is the emitted test-cube count.
+	Cubes int `json:"cubes"`
+	// Coverage is detected / (total − untestable).
+	Coverage float64 `json:"coverage"`
+	// WallNS is the cell's wall time.
+	WallNS int64 `json:"wall_ns"`
+}
+
+// SessionCell snapshots one session's artefact-cache activity
+// (experiments.SessionStats) after its slice of the grid — builds and
+// hits are deterministic counters; the *NS fields are wall clock.
+type SessionCell struct {
+	// Workers keys the session together with Repeat.
+	Workers int `json:"workers"`
+	Repeat  int `json:"repeat"` // repeat index within the grid
+	// Tables reports whether this session also ran the paper-table sweep
+	// (only the grid's first session does; its request counters include
+	// that extra load).
+	Tables bool `json:"tables"`
+	// SetBuilds counts cube-set computations; the sibling counters do the
+	// same for the other artefact kinds.
+	SetBuilds      int64 `json:"set_builds"`
+	EncodingBuilds int64 `json:"encoding_builds"` // window-encoding builds
+	IndexBuilds    int64 `json:"index_builds"`    // embedding-index builds
+	TableBuilds    int64 `json:"table_builds"`    // ATPG shared-table builds
+	// Hits counts requests served from the memo caches.
+	Hits    int64   `json:"hits"`
+	HitRate float64 `json:"hit_rate"` // hits / (hits + builds)
+	// Evictions counts LRU drops (0 in harness runs; caches unbounded).
+	Evictions int64 `json:"evictions"`
+	// SetBuildNS is the wall time spent building cube sets; the sibling
+	// fields time the other artefact kinds (see SessionStats for the
+	// transitive-inclusion caveat).
+	SetBuildNS      int64 `json:"set_build_ns"`
+	EncodingBuildNS int64 `json:"encoding_build_ns"` // encoding build wall time
+	IndexBuildNS    int64 `json:"index_build_ns"`    // index build wall time
+	TableBuildNS    int64 `json:"table_build_ns"`    // table build wall time
+}
+
+// Key identifies an encode cell across snapshots.
+func (c EncodeCell) Key() string {
+	return fmt.Sprintf("encode %s L=%d workers=%d repeat=%d", c.Circuit, c.L, c.Workers, c.Repeat)
+}
+
+// Key identifies an ATPG cell across snapshots.
+func (c ATPGCell) Key() string {
+	return fmt.Sprintf("atpg %s backtrace=%s workers=%d repeat=%d", c.Circuit, c.Backtrace, c.Workers, c.Repeat)
+}
+
+// Key identifies a session-stats cell across snapshots.
+func (c SessionCell) Key() string {
+	return fmt.Sprintf("session workers=%d repeat=%d", c.Workers, c.Repeat)
+}
+
+// Validate checks a snapshot's internal consistency: schema version,
+// non-empty cell sets matching the grid's expansion, and value ranges,
+// including the structural identities TDV = seeds×n being a multiple of
+// seeds and TSL = seeds×L.
+func (s *Snapshot) Validate() error {
+	if s.SchemaVersion != SnapshotSchemaVersion {
+		return fmt.Errorf("benchrun: snapshot schema_version %d, this build reads %d", s.SchemaVersion, SnapshotSchemaVersion)
+	}
+	if s.Stamp == "" {
+		return fmt.Errorf("benchrun: snapshot has no stamp")
+	}
+	g := s.Grid
+	wantEnc := len(g.Circuits) * len(g.WindowLengths) * len(g.Workers) * g.Repeats
+	if len(s.Encode) != wantEnc {
+		return fmt.Errorf("benchrun: %d encode cells, grid expands to %d", len(s.Encode), wantEnc)
+	}
+	wantATPG := len(g.Circuits) * len(g.Backtraces) * len(g.Workers) * g.Repeats
+	if len(s.ATPG) != wantATPG {
+		return fmt.Errorf("benchrun: %d atpg cells, grid expands to %d", len(s.ATPG), wantATPG)
+	}
+	if want := len(g.Workers) * g.Repeats; len(s.Sessions) != want {
+		return fmt.Errorf("benchrun: %d session cells, grid expands to %d", len(s.Sessions), want)
+	}
+	for _, c := range s.Encode {
+		if c.Seeds <= 0 || c.TDV <= 0 || c.TSL <= 0 || c.Checks <= 0 || c.WallNS < 0 {
+			return fmt.Errorf("benchrun: %s: non-positive metric (%+v)", c.Key(), c)
+		}
+		if c.TDV%c.Seeds != 0 {
+			return fmt.Errorf("benchrun: %s: TDV %d is not a multiple of seeds %d", c.Key(), c.TDV, c.Seeds)
+		}
+		if c.TSL != c.Seeds*c.L {
+			return fmt.Errorf("benchrun: %s: TSL %d ≠ seeds %d × L %d", c.Key(), c.TSL, c.Seeds, c.L)
+		}
+	}
+	for _, c := range s.ATPG {
+		if c.Faults <= 0 || c.Detected < 0 || c.Untestable < 0 || c.Aborted < 0 ||
+			c.Backtracks < 0 || c.Cubes < 0 || c.WallNS < 0 {
+			return fmt.Errorf("benchrun: %s: negative metric (%+v)", c.Key(), c)
+		}
+		if c.Detected+c.Untestable+c.Aborted > c.Faults {
+			return fmt.Errorf("benchrun: %s: processed %d faults of %d", c.Key(),
+				c.Detected+c.Untestable+c.Aborted, c.Faults)
+		}
+		if c.Coverage < 0 || c.Coverage > 1 {
+			return fmt.Errorf("benchrun: %s: coverage %f out of [0,1]", c.Key(), c.Coverage)
+		}
+	}
+	for _, c := range s.Sessions {
+		if c.HitRate < 0 || c.HitRate > 1 {
+			return fmt.Errorf("benchrun: %s: hit rate %f out of [0,1]", c.Key(), c.HitRate)
+		}
+	}
+	return nil
+}
+
+// WriteFile validates the snapshot and writes it as indented JSON.
+func (s *Snapshot) WriteFile(path string) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadSnapshot loads and validates a BENCH_*.json file.
+func ReadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchrun: %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// SnapshotName returns the repo-root snapshot filename for a stamp.
+func SnapshotName(stamp string) string {
+	return "BENCH_" + strings.ReplaceAll(stamp, string(os.PathSeparator), "_") + ".json"
+}
+
+// hostInfo snapshots the current environment.
+func hostInfo() HostInfo {
+	return HostInfo{OS: runtime.GOOS, Arch: runtime.GOARCH, CPUs: runtime.NumCPU()}
+}

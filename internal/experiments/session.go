@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/atpg"
 	"repro/internal/benchprofile"
@@ -128,6 +129,7 @@ type Session struct {
 	stats struct {
 		setBuilds, encBuilds, idxBuilds, tabBuilds atomic.Int64
 		hits                                       atomic.Int64
+		setNS, encNS, idxNS, tabNS                 atomic.Int64
 	}
 }
 
@@ -143,6 +145,15 @@ type SessionStats struct {
 	Evictions int64
 	// Cached is the current number of live memo slots across all maps.
 	Cached int
+
+	// SetBuildNS..TableBuildNS accumulate the wall time (nanoseconds)
+	// spent building each artefact kind — the per-stage timings the bench
+	// harness (internal/benchrun) snapshots into BENCH_*.json. A stage's
+	// figure includes the artefacts it builds transitively: an Encoding
+	// build that had to build its cube Set first reports the Set time in
+	// both SetBuildNS and EncodingBuildNS. Wall clock feeds metrics only;
+	// it never influences pipeline output.
+	SetBuildNS, EncodingBuildNS, IndexBuildNS, TableBuildNS int64
 }
 
 // Stats snapshots the session's cache counters.
@@ -152,13 +163,17 @@ func (s *Session) Stats() SessionStats {
 	n := s.sets.Len() + s.encs.Len() + s.idxs.Len() + s.tabs.Len()
 	s.mu.Unlock()
 	return SessionStats{
-		SetBuilds:      s.stats.setBuilds.Load(),
-		EncodingBuilds: s.stats.encBuilds.Load(),
-		IndexBuilds:    s.stats.idxBuilds.Load(),
-		TableBuilds:    s.stats.tabBuilds.Load(),
-		Hits:           s.stats.hits.Load(),
-		Evictions:      int64(ev),
-		Cached:         n,
+		SetBuilds:       s.stats.setBuilds.Load(),
+		EncodingBuilds:  s.stats.encBuilds.Load(),
+		IndexBuilds:     s.stats.idxBuilds.Load(),
+		TableBuilds:     s.stats.tabBuilds.Load(),
+		Hits:            s.stats.hits.Load(),
+		Evictions:       int64(ev),
+		Cached:          n,
+		SetBuildNS:      s.stats.setNS.Load(),
+		EncodingBuildNS: s.stats.encNS.Load(),
+		IndexBuildNS:    s.stats.idxNS.Load(),
+		TableBuildNS:    s.stats.tabNS.Load(),
 	}
 }
 
@@ -199,6 +214,19 @@ type memo[V any] struct {
 // or deadline — the errors that must not be cached.
 func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// timed wraps an artefact build so its wall time accumulates into ns —
+// the per-stage timings SessionStats exposes for the bench harness. The
+// wall-clock read feeds only a duration metric (the time.Since pattern
+// the nodetsource analyzer permits) and never influences pipeline output.
+func timed[V any](ns *atomic.Int64, compute func() (V, error)) func() (V, error) {
+	return func() (V, error) {
+		t0 := time.Now()
+		v, err := compute()
+		ns.Add(int64(time.Since(t0)))
+		return v, err
+	}
 }
 
 // cached returns the memoized value for key k of cache m (guarded by mu),
@@ -344,7 +372,7 @@ func (s *Session) Tables(core *netlist.Netlist) (*atpg.Tables, error) {
 // TablesCtx is Tables with an explicit context: a cancelled leader's
 // build is not cached, and waiters whose context fires stop waiting.
 func (s *Session) TablesCtx(ctx context.Context, core *netlist.Netlist) (*atpg.Tables, error) {
-	build := func() (*atpg.Tables, error) { return atpg.NewTables(core) }
+	build := timed(&s.stats.tabNS, func() (*atpg.Tables, error) { return atpg.NewTables(core) })
 	t, err := cached(ctx, &s.mu, s.tabs, &s.stats.tabBuilds, &s.stats.hits, core, build)
 	if err != nil || t.Valid(core) {
 		return t, err
@@ -401,13 +429,13 @@ func (s *Session) Set(circuit string) (*cube.Set, error) {
 
 // SetCtx is Set with an explicit context scoping the singleflight build.
 func (s *Session) SetCtx(ctx context.Context, circuit string) (*cube.Set, error) {
-	return cached(ctx, &s.mu, s.sets, &s.stats.setBuilds, &s.stats.hits, circuit, func() (*cube.Set, error) {
+	return cached(ctx, &s.mu, s.sets, &s.stats.setBuilds, &s.stats.hits, circuit, timed(&s.stats.setNS, func() (*cube.Set, error) {
 		p, err := benchprofile.ByName(circuit, s.Scale)
 		if err != nil {
 			return nil, err
 		}
 		return p.Generate(), nil
-	})
+	}))
 }
 
 // Encoding returns the (cached) window encoding of one circuit at window
@@ -420,7 +448,7 @@ func (s *Session) Encoding(circuit string, L int) (*encoder.Encoding, error) {
 // encoder's candidate scan (see encoder.EncodeCtx). The leader's context
 // governs the build; a cancelled build is not cached.
 func (s *Session) EncodingCtx(ctx context.Context, circuit string, L int) (*encoder.Encoding, error) {
-	return cached(ctx, &s.mu, s.encs, &s.stats.encBuilds, &s.stats.hits, encKey{circuit, L}, func() (*encoder.Encoding, error) {
+	return cached(ctx, &s.mu, s.encs, &s.stats.encBuilds, &s.stats.hits, encKey{circuit, L}, timed(&s.stats.encNS, func() (*encoder.Encoding, error) {
 		set, err := s.SetCtx(ctx, circuit)
 		if err != nil {
 			return nil, err
@@ -434,7 +462,7 @@ func (s *Session) EncodingCtx(ctx context.Context, circuit string, L int) (*enco
 			return nil, fmt.Errorf("experiments: %s L=%d: %w", circuit, L, err)
 		}
 		return enc, nil
-	})
+	}))
 }
 
 // Index returns the (cached) vector-level embedding index of one encoding.
@@ -445,13 +473,13 @@ func (s *Session) Index(circuit string, L int) (*stateskip.VecEmbeddings, error)
 // IndexCtx is Index with an explicit context scoping the singleflight
 // build and the encoding it depends on.
 func (s *Session) IndexCtx(ctx context.Context, circuit string, L int) (*stateskip.VecEmbeddings, error) {
-	return cached(ctx, &s.mu, s.idxs, &s.stats.idxBuilds, &s.stats.hits, encKey{circuit, L}, func() (*stateskip.VecEmbeddings, error) {
+	return cached(ctx, &s.mu, s.idxs, &s.stats.idxBuilds, &s.stats.hits, encKey{circuit, L}, timed(&s.stats.idxNS, func() (*stateskip.VecEmbeddings, error) {
 		enc, err := s.EncodingCtx(ctx, circuit, L)
 		if err != nil {
 			return nil, err
 		}
 		return stateskip.ScanEmbeddingsWorkers(enc, s.Workers), nil
-	})
+	}))
 }
 
 // Reduce runs useful-segment selection for a cached encoding, reusing the

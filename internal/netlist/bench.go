@@ -16,10 +16,19 @@ import (
 //	G10 = NAND(G0, G1)
 //	G11 = DFF(G10)        # flip-flops become PPI/PPO pairs
 //
+// A `#` starts a comment anywhere on a line (the real ISCAS distributions
+// carry both header blocks and trailing annotations); everything from the
+// first `#` to the end of the line is stripped before the line is parsed,
+// so a comment containing parentheses can never confuse the declaration
+// and gate parsers.
+//
 // DFF gates are scan-replaced: the flip-flop's output becomes a pseudo
-// primary input named after the DFF signal, and its data input becomes a
-// pseudo primary output "<name>_ppo" — the standard full-scan
-// transformation under which ATPG is combinational.
+// primary input named after the DFF signal, and the signal driving its
+// data input is marked as a pseudo primary output — the standard
+// full-scan transformation under which ATPG is combinational. A signal that is both
+// declared OUTPUT(...) and feeds a DFF data input is marked as a primary
+// output once (MarkOutput is idempotent), matching how full-scan tools
+// treat such nets.
 func ReadBench(r io.Reader) (*Netlist, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -40,8 +49,12 @@ func ReadBench(r io.Reader) (*Netlist, error) {
 	line := 0
 	for sc.Scan() {
 		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
 			continue
 		}
 		upper := strings.ToUpper(text)

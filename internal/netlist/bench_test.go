@@ -1,0 +1,159 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// benchCommentFixture is an ISCAS-style netlist with the comment shapes
+// the real benchmark distributions use: a header block, trailing comments
+// on declarations, and — the case that used to break the gate parser — a
+// trailing comment containing a ')' after a gate's right-hand side.
+const benchCommentFixture = `# s00 benchmark (ISCAS-89 style header)
+# 2 inputs
+# 1 outputs
+# 0 D-type flipflops
+# 1 inverters
+# 2 gates (1 NANDs + 1 ORs)
+
+INPUT(G0)  # scan in
+INPUT(G1)	# primary input (active high)
+OUTPUT(G17) # scan out
+
+G10 = NAND(G0, G1) # (see fig. 3) dominant gate
+G11 = NOT(G10)
+G17 = OR(G11, G0)  # drives OUTPUT(G17)
+`
+
+// benchDFFFixture declares G12 both as an OUTPUT and as a DFF data input,
+// the overlap that used to mark it as a primary output twice.
+const benchDFFFixture = `# tiny full-scan core with an output/DFF-D overlap
+INPUT(G0)
+OUTPUT(G12)   # also feeds the flip-flop below
+G5 = DFF(G12) # scan-replaced: G5 becomes a PPI, G12 a PPO
+G12 = NAND(G0, G5)
+`
+
+// TestReadBenchInlineComments exercises the header/trailing comment forms
+// above; before the fix `INPUT(G0)  # scan in` was unparseable and the
+// ')' inside the G10 comment made LastIndexByte(')') grab the wrong paren
+// (yielding the fan-in list "G0, G1) # (see fig. 3").
+func TestReadBenchInlineComments(t *testing.T) {
+	n, err := ReadBench(strings.NewReader(benchCommentFixture))
+	if err != nil {
+		t.Fatalf("comment-bearing fixture rejected: %v", err)
+	}
+	if len(n.Inputs) != 2 || len(n.Outputs) != 1 {
+		t.Fatalf("got %d inputs, %d outputs, want 2, 1", len(n.Inputs), len(n.Outputs))
+	}
+	gi, ok := n.Index("G10")
+	if !ok {
+		t.Fatal("G10 missing")
+	}
+	if got := len(n.Gates[gi].Fanin); got != 2 {
+		t.Fatalf("G10 fan-in = %d, want 2 (comment text leaked into the fan-in list)", got)
+	}
+	// G17 = OR(NOT(NAND(G0,G1)), G0): for G0=1 the output is 1 regardless.
+	out, err := n.Eval([]uint8{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 {
+		t.Fatalf("G17 = %d, want 1", out[0])
+	}
+}
+
+// TestReadBenchOutputDFFOverlap asserts that a signal declared OUTPUT(...)
+// and also feeding a DFF data input is marked as an output exactly once,
+// and that WriteBench consequently emits a single OUTPUT line for it.
+func TestReadBenchOutputDFFOverlap(t *testing.T) {
+	n, err := ReadBench(strings.NewReader(benchDFFFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for _, o := range n.Outputs {
+		seen[o]++
+		if seen[o] > 1 {
+			t.Fatalf("gate %q marked output %d times", n.Gates[o].Name, seen[o])
+		}
+	}
+	if len(n.Outputs) != 1 {
+		t.Fatalf("outputs = %d, want 1 (G12 once)", len(n.Outputs))
+	}
+	var buf bytes.Buffer
+	if err := n.WriteBench(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "OUTPUT(G12)"); got != 1 {
+		t.Fatalf("WriteBench emitted OUTPUT(G12) %d times, want 1:\n%s", got, buf.String())
+	}
+}
+
+// TestMarkOutputIdempotent audits MarkOutput under direct API use: marking
+// the same signal repeatedly must leave a single entry in Outputs and an
+// unchanged structural hash.
+func TestMarkOutputIdempotent(t *testing.T) {
+	n := New()
+	if _, err := n.AddInput("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddGate("y", Not, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.MarkOutput("y"); err != nil {
+		t.Fatal(err)
+	}
+	h := n.Hash()
+	if err := n.MarkOutput("y"); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Outputs) != 1 {
+		t.Fatalf("outputs = %d, want 1", len(n.Outputs))
+	}
+	if n.Hash() != h {
+		t.Fatal("re-marking an output changed the structural hash")
+	}
+}
+
+// TestBenchRoundTripHash runs ReadBench → WriteBench → ReadBench on the
+// comment-bearing and DFF-bearing fixtures and requires full structural
+// equivalence via netlist.Hash — gate types, wiring and the input/output
+// maps all survive the round trip.
+func TestBenchRoundTripHash(t *testing.T) {
+	for name, src := range map[string]string{
+		"comments": benchCommentFixture,
+		"dff":      benchDFFFixture,
+	} {
+		t.Run(name, func(t *testing.T) {
+			n1, err := ReadBench(strings.NewReader(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := n1.WriteBench(&buf); err != nil {
+				t.Fatal(err)
+			}
+			first := buf.String()
+			n2, err := ReadBench(strings.NewReader(first))
+			if err != nil {
+				t.Fatalf("re-reading own output: %v\n%s", err, first)
+			}
+			if n1.Hash() != n2.Hash() {
+				t.Fatalf("round trip changed the structural hash:\n%s", first)
+			}
+			if len(n1.Outputs) != len(n2.Outputs) || len(n1.Inputs) != len(n2.Inputs) {
+				t.Fatalf("round trip changed I/O counts: %d/%d vs %d/%d",
+					len(n1.Inputs), len(n1.Outputs), len(n2.Inputs), len(n2.Outputs))
+			}
+			var buf2 bytes.Buffer
+			if err := n2.WriteBench(&buf2); err != nil {
+				t.Fatal(err)
+			}
+			if buf2.String() != first {
+				t.Fatal("WriteBench output is not a fixed point of ReadBench∘WriteBench")
+			}
+		})
+	}
+}

@@ -211,11 +211,21 @@ func (n *Netlist) AddGate(name string, t GateType, fanin ...string) (int, error)
 	return idx, nil
 }
 
-// MarkOutput declares an existing signal as a primary output.
+// MarkOutput declares an existing signal as a primary output. Marking a
+// signal that is already an output is a no-op, so n.Outputs never holds
+// duplicates — a net can legitimately be requested twice (e.g. declared
+// OUTPUT(...) in a .bench file and also feeding a DFF data input), and a
+// duplicate entry would double-count the output in WriteBench, Eval and
+// the structural Hash.
 func (n *Netlist) MarkOutput(name string) error {
 	idx, ok := n.byName[name]
 	if !ok {
 		return fmt.Errorf("netlist: unknown output signal %q", name)
+	}
+	for _, o := range n.Outputs {
+		if o == idx {
+			return nil
+		}
 	}
 	n.Outputs = append(n.Outputs, idx)
 	n.invalidate()

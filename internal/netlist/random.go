@@ -70,14 +70,29 @@ func Random(cfg RandomConfig) (*Netlist, error) {
 			return nil, err
 		}
 	}
-	// Outputs: prefer late gates so the observable cones are deep.
+	// Outputs: prefer late gates so the observable cones are deep. A draw
+	// that lands on an already-marked gate walks downward (wrapping) to
+	// the nearest free one instead of redrawing, so the PRNG stream — and
+	// therefore every other seed's circuit — is unaffected by collisions
+	// and the netlist always gets exactly cfg.Outputs distinct outputs.
 	total := cfg.Inputs + cfg.Gates
+	if cfg.Outputs > total {
+		return nil, fmt.Errorf("netlist: random config wants %d outputs from %d signals", cfg.Outputs, total)
+	}
+	marked := make(map[int]bool, cfg.Outputs)
 	for oi := 0; oi < cfg.Outputs; oi++ {
 		span := cfg.Gates / 2
 		if span < 1 {
 			span = 1
 		}
 		idx := total - 1 - src.Intn(span)
+		for marked[idx] {
+			idx--
+			if idx < 0 {
+				idx = total - 1
+			}
+		}
+		marked[idx] = true
 		if err := n.MarkOutput(n.Gates[idx].Name); err != nil {
 			return nil, err
 		}

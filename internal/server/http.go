@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -25,15 +26,19 @@ type Metrics struct {
 		Panics    int64 `json:"panics"`
 	} `json:"jobs"`
 	Session struct {
-		SetBuilds      int64 `json:"set_builds"`
-		EncodingBuilds int64 `json:"encoding_builds"`
-		IndexBuilds    int64 `json:"index_builds"`
-		TableBuilds    int64 `json:"table_builds"`
-		Hits           int64 `json:"hits"`
-		Evictions      int64 `json:"evictions"`
-		Cached         int   `json:"cached"`
-		EncTableBuilds int64 `json:"enc_table_builds"`
-		EncTableCached int   `json:"enc_table_cached"`
+		SetBuilds       int64 `json:"set_builds"`
+		EncodingBuilds  int64 `json:"encoding_builds"`
+		IndexBuilds     int64 `json:"index_builds"`
+		TableBuilds     int64 `json:"table_builds"`
+		Hits            int64 `json:"hits"`
+		Evictions       int64 `json:"evictions"`
+		Cached          int   `json:"cached"`
+		EncTableBuilds  int64 `json:"enc_table_builds"`
+		EncTableCached  int   `json:"enc_table_cached"`
+		SetBuildNS      int64 `json:"set_build_ns"`
+		EncodingBuildNS int64 `json:"encoding_build_ns"`
+		IndexBuildNS    int64 `json:"index_build_ns"`
+		TableBuildNS    int64 `json:"table_build_ns"`
 	} `json:"session"`
 	Cores struct {
 		Cached    int `json:"cached"`
@@ -69,6 +74,10 @@ func (s *Server) MetricsSnapshot() Metrics {
 	m.Session.Cached = st.Cached
 	m.Session.EncTableBuilds = s.session.EncTables.Builds()
 	m.Session.EncTableCached = s.session.EncTables.Len()
+	m.Session.SetBuildNS = st.SetBuildNS
+	m.Session.EncodingBuildNS = st.EncodingBuildNS
+	m.Session.IndexBuildNS = st.IndexBuildNS
+	m.Session.TableBuildNS = st.TableBuildNS
 	return m
 }
 
@@ -99,8 +108,13 @@ func writeError(w http.ResponseWriter, code int, err error) {
 //	GET    /metrics        queue/job/cache counters
 //	GET    /healthz        liveness (503 while draining)
 //
-// A full queue or a draining server answers POST /jobs with 503 and a
-// Retry-After header, the standard backpressure contract.
+// A full queue answers POST /jobs with 503 plus a Retry-After header
+// derived from the backlog (queue depth over worker count, so a deeper
+// queue advertises a longer wait). A draining server also answers 503 but
+// sends no Retry-After at all: shutdown is not transient from this
+// process's point of view, and a short retry hint would herd clients into
+// hammering an endpoint that is going away — they should fail over
+// instead. The error body distinguishes the two cases.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -123,12 +137,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, st)
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
-		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrDraining):
+		// Deliberately no Retry-After: see Handler's doc comment.
 		writeError(w, http.StatusServiceUnavailable, err)
 	default:
 		writeError(w, http.StatusBadRequest, err)
 	}
+}
+
+// retryAfterSeconds estimates how long a submitter rejected by a full
+// queue should wait: one second of grace plus the backlog spread over the
+// worker pool, capped so a pathological queue never advertises waits a
+// client would interpret as "down".
+func (s *Server) retryAfterSeconds() int {
+	s.mu.Lock()
+	depth := len(s.queue)
+	s.mu.Unlock()
+	secs := 1 + depth/s.cfg.JobWorkers
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

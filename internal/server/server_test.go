@@ -7,6 +7,8 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -200,10 +202,88 @@ func TestQueueBackpressure(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("full queue POST = %d, want 503", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	// One job queued behind one worker: Retry-After must reflect the
+	// backlog (1s grace + depth/workers), not a hardcoded constant.
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
 		t.Fatal("503 without Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs != 2 {
+		t.Fatalf("Retry-After = %q, want 2 (1 + depth 1 / workers 1)", ra)
 	}
 	close(release)
+}
+
+// TestDrainingSubmitNoRetryAfter asserts the other half of the 503
+// contract: a draining server rejects submissions without any Retry-After
+// header — shutdown is not transient, clients should fail over rather
+// than retry against a dying endpoint — while a full queue (above) does
+// advertise a wait.
+func TestDrainingSubmitNoRetryAfter(t *testing.T) {
+	release := make(chan struct{})
+	s := New(Config{
+		JobWorkers: 1,
+		Hook: func(ctx context.Context, id string, stage Stage) error {
+			if stage != StageAttempt {
+				return nil
+			}
+			select {
+			case <-release:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	})
+	st, err := s.Submit(Request{Kind: KindEncode, L: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, st.ID, StateRunning)
+
+	shutdownDone := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	go func() { shutdownDone <- s.Shutdown(ctx) }()
+	// Wait for the drain flag: submissions flip from ErrQueueFull-style
+	// acceptance to ErrDraining.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := s.Submit(Request{Kind: KindEncode, L: 6}); errors.Is(err, ErrDraining) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(Request{Kind: KindEncode, L: 8})
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining POST = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		t.Fatalf("draining 503 carries Retry-After %q, want none", ra)
+	}
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(envelope.Error, "draining") {
+		t.Fatalf("draining 503 body %q does not name the reason", envelope.Error)
+	}
+
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
 }
 
 // TestCancelRunningJob cancels an in-flight ATPG job and requires the
