@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// daemon is one running stateskipd child process.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string // http://127.0.0.1:PORT
+}
+
+// startDaemon launches the built binary on an ephemeral port with the
+// given journal directory and parses the real address off its stderr.
+func startDaemon(t *testing.T, bin, journalDir string) *daemon {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-journal", journalDir,
+		"-job-workers", "2",
+		"-queue", "64",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatalf("StderrPipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting daemon: %v", err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				if sp := strings.IndexByte(rest, ' '); sp > 0 {
+					rest = rest[:sp]
+				}
+				addrCh <- rest
+				break
+			}
+		}
+		io.Copy(io.Discard, stderr) //nolint:errcheck // keep the pipe drained
+	}()
+	select {
+	case addr := <-addrCh:
+		return &daemon{cmd: cmd, base: "http://" + addr}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill() //nolint:errcheck
+		cmd.Wait()         //nolint:errcheck
+		t.Fatalf("daemon never announced its address")
+		return nil
+	}
+}
+
+func (d *daemon) post(t *testing.T, req map[string]any) (int, map[string]any) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(d.base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out) //nolint:errcheck
+	return resp.StatusCode, out
+}
+
+func (d *daemon) waitReady(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("daemon at %s never became ready", d.base)
+}
+
+// TestKillStormRecovery is the full crash-chaos acceptance path against a
+// real process: build the binary, storm it with keyed jobs, SIGKILL it
+// mid-storm, restart it on the same journal, and require every
+// acknowledged job to reach a terminal state exactly once — resubmitted
+// keys dedup onto the recovered jobs instead of forking duplicates.
+func TestKillStormRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test: builds and SIGKILLs a real daemon")
+	}
+	bin := filepath.Join(t.TempDir(), "stateskipd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	jdir := t.TempDir()
+
+	d1 := startDaemon(t, bin, jdir)
+	d1.waitReady(t)
+
+	// The storm: ATPG jobs sized to outlive the kill, all keyed.
+	const storm = 10
+	keys := make([]string, storm)
+	ackedID := make(map[string]string, storm)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("kill-storm-%02d", i)
+		code, st := d1.post(t, map[string]any{
+			"kind": "atpg", "inputs": 40, "outputs": 12, "gates": 400,
+			"seed": i + 1, "backtrack": 50,
+			"idempotency_key": keys[i],
+		})
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %v", i, code, st)
+		}
+		id, _ := st["id"].(string)
+		if id == "" {
+			t.Fatalf("submit %d: no job ID in %v", i, st)
+		}
+		ackedID[keys[i]] = id
+	}
+
+	// SIGKILL mid-storm: no drain, no journal close, no goodbyes.
+	if err := d1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	d1.cmd.Wait() //nolint:errcheck // the kill is the expected exit
+
+	d2 := startDaemon(t, bin, jdir)
+	defer func() {
+		d2.cmd.Process.Signal(syscall.SIGTERM) //nolint:errcheck
+		d2.cmd.Wait()                          //nolint:errcheck
+	}()
+	d2.waitReady(t)
+
+	// Clients that lost their acks retry; every key must dedup onto the
+	// job the first process acknowledged.
+	for _, key := range keys {
+		code, st := d2.post(t, map[string]any{
+			"kind": "atpg", "inputs": 40, "outputs": 12, "gates": 400,
+			"backtrack": 50, "idempotency_key": key,
+		})
+		if code != http.StatusAccepted {
+			t.Fatalf("resubmit %s: %d %v", key, code, st)
+		}
+		if deduped, _ := st["deduped"].(bool); !deduped {
+			t.Fatalf("resubmit %s forked a new job: %v", key, st)
+		}
+		if id, _ := st["id"].(string); id != ackedID[key] {
+			t.Fatalf("key %s: acked as %s, recovered as %s", key, ackedID[key], id)
+		}
+	}
+
+	// Exactly-once: the recovered daemon ends with exactly the acked jobs,
+	// every one terminal done.
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(d2.base + "/jobs")
+		if err != nil {
+			t.Fatalf("GET /jobs: %v", err)
+		}
+		var jobs []map[string]any
+		json.NewDecoder(resp.Body).Decode(&jobs) //nolint:errcheck
+		resp.Body.Close()
+		if len(jobs) != storm {
+			t.Fatalf("recovered daemon has %d jobs, want exactly %d: %v", len(jobs), storm, jobs)
+		}
+		pending := 0
+		for _, j := range jobs {
+			switch j["state"] {
+			case "done":
+			case "failed", "canceled":
+				t.Fatalf("job %v recovered into %v", j["id"], j["state"])
+			default:
+				pending++
+			}
+		}
+		if pending == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d jobs still pending at deadline: %v", pending, jobs)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The journal metrics must show the recovery actually happened.
+	resp, err := http.Get(d2.base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	var m struct {
+		Journal struct {
+			Enabled  bool  `json:"enabled"`
+			Replayed int64 `json:"replayed_jobs"`
+		} `json:"journal"`
+	}
+	json.NewDecoder(resp.Body).Decode(&m) //nolint:errcheck
+	resp.Body.Close()
+	if !m.Journal.Enabled || m.Journal.Replayed < 1 {
+		t.Fatalf("metrics do not reflect a journal recovery: %+v", m.Journal)
+	}
+}

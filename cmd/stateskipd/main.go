@@ -7,7 +7,8 @@
 //
 //	stateskipd [-addr :8351] [-scale ci|paper] [-job-workers N]
 //	           [-workers N] [-queue N] [-timeout 5m] [-retries N]
-//	           [-max-cached N] [-drain 10s]
+//	           [-max-cached N] [-drain 10s] [-journal DIR]
+//	           [-max-body BYTES] [-max-gates N] [-max-inputs N]
 //
 // API (see internal/server for the JSON shapes):
 //
@@ -15,13 +16,22 @@
 //	GET    /jobs/{id}       poll status
 //	GET    /jobs/{id}/result fetch result (202 + Retry-After until terminal)
 //	DELETE /jobs/{id}       cancel
-//	GET    /metrics         queue, job and cache counters
-//	GET    /healthz         liveness
+//	GET    /metrics         queue, job, cache and journal counters
+//	GET    /healthz         liveness (200 while the process serves)
+//	GET    /readyz          readiness (503 while replaying or draining)
+//
+// With -journal DIR every acknowledged submission is fsynced to an
+// append-only log before the 202; after a crash (SIGKILL, OOM, power
+// loss) the next start replays the directory, restores finished jobs'
+// results and re-runs interrupted ones — ATPG jobs continue from their
+// last durable checkpoint. Requests may carry an "idempotency_key" so a
+// client that lost its 202 can resubmit without duplicating work.
 //
 // A full queue answers 503 with Retry-After — clients are expected to
-// back off and resubmit. SIGINT/SIGTERM starts a graceful shutdown: the
-// listener and queue close, running jobs drain until -drain expires, then
-// everything still in flight is cancelled cooperatively.
+// back off and resubmit. Bodies over -max-body get 413; netlists over
+// the -max-* caps get 422. SIGINT/SIGTERM starts a graceful shutdown:
+// the listener and queue close, running jobs drain until -drain expires,
+// then everything still in flight is cancelled cooperatively.
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -48,7 +59,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("stateskipd", flag.ContinueOnError)
-	addr := fs.String("addr", ":8351", "listen address")
+	addr := fs.String("addr", ":8351", "listen address (use :0 for an ephemeral port)")
 	scaleFlag := fs.String("scale", "ci", "benchmark scale: ci or paper")
 	jobWorkers := fs.Int("job-workers", 2, "jobs run concurrently")
 	workers := fs.Int("workers", 0, "engine goroutines per job (0 = all CPUs)")
@@ -57,6 +68,11 @@ func run(args []string) error {
 	retries := fs.Int("retries", 2, "retries per failed job attempt")
 	maxCached := fs.Int("max-cached", 256, "artefact-cache entries per cache (0 = unbounded)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+	journalDir := fs.String("journal", "", "durable job-journal directory (empty = no journal)")
+	maxBody := fs.Int64("max-body", 8<<20, "request-body byte cap (413 past it)")
+	maxGates := fs.Int("max-gates", 0, "client-netlist gate cap (0 = unlimited)")
+	maxInputs := fs.Int("max-inputs", 0, "client-netlist input cap (0 = unlimited)")
+	maxLevels := fs.Int("max-levels", 0, "client-netlist level cap (0 = unlimited)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,7 +81,7 @@ func run(args []string) error {
 		scale = benchprofile.ScalePaper
 	}
 
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Scale:          scale,
 		JobWorkers:     *jobWorkers,
 		EngineWorkers:  *workers,
@@ -73,10 +89,26 @@ func run(args []string) error {
 		DefaultTimeout: *timeout,
 		MaxRetries:     *retries,
 		MaxCached:      *maxCached,
+		JournalDir:     *journalDir,
+		MaxBodyBytes:   *maxBody,
+		MaxGates:       *maxGates,
+		MaxInputs:      *maxInputs,
+		MaxLevels:      *maxLevels,
 		Backoff:        server.Backoff{Base: 100 * time.Millisecond, Cap: 5 * time.Second, Factor: 2, Jitter: 0.5},
 	})
+	if err != nil {
+		return err
+	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Listen explicitly (rather than ListenAndServe) so -addr :0 works and
+	// the real address is printed — the crash-recovery integration test
+	// parses it to find the daemon.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
 
 	// SIGINT/SIGTERM trigger the graceful path; a second signal after
 	// stop() has run falls through to the default handler (hard exit).
@@ -85,9 +117,9 @@ func run(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "stateskipd: listening on %s (scale=%s, queue=%d, job-workers=%d)\n",
-			*addr, *scaleFlag, *queue, *jobWorkers)
-		errc <- httpSrv.ListenAndServe()
+		fmt.Fprintf(os.Stderr, "stateskipd: listening on %s (scale=%s, queue=%d, job-workers=%d, journal=%q)\n",
+			ln.Addr(), *scaleFlag, *queue, *jobWorkers, *journalDir)
+		errc <- httpSrv.Serve(ln)
 	}()
 
 	select {

@@ -20,7 +20,7 @@ import (
 // to the same bar as the facade: its analyzers document the invariants
 // they enforce, so their godoc is part of the contract; internal/benchrun
 // likewise, since its snapshot schema is what CI diffs run over run.
-var docCheckedPackages = []string{".", "internal/atpg", "internal/lint", "internal/benchrun"}
+var docCheckedPackages = []string{".", "internal/atpg", "internal/lint", "internal/benchrun", "internal/journal"}
 
 func TestExportedIdentifiersDocumented(t *testing.T) {
 	for _, dir := range docCheckedPackages {

@@ -878,6 +878,20 @@ type Options struct {
 	// levelization, fan-out lists and SCOAP weights. When nil, RunAll
 	// builds them once per invocation (never once per worker).
 	Tables *Tables
+	// CheckpointEvery, when > 0 together with Checkpoint, snapshots the
+	// run every that-many committed faults. Cadence counts commits (not
+	// drops), so the interval between snapshots is bounded by PODEM work,
+	// the expensive part.
+	CheckpointEvery int
+	// Checkpoint receives each snapshot on the committing goroutine. The
+	// snapshot aliases live engine state: serialize or deep-copy it before
+	// returning, and never retain it (see Checkpoint's doc comment).
+	Checkpoint func(*Checkpoint)
+	// Resume, when non-nil, starts the run from a prior snapshot instead
+	// of from scratch; the final Result is bit-identical to the
+	// uninterrupted run's. The checkpoint must Match the universe or
+	// RunAll fails before touching any fault.
+	Resume *Checkpoint
 }
 
 // RunAll generates test cubes for every fault of the universe.
@@ -930,6 +944,11 @@ func RunAllCtx(ctx context.Context, u *faultsim.Universe, opt Options) (*Result,
 		res:    &Result{Cubes: cube.NewSet(len(u.Net.Inputs))},
 		done:   make([]bool, len(u.Faults)),
 	}
+	if opt.Resume != nil {
+		if err := r.restore(opt.Resume); err != nil {
+			return nil, err
+		}
+	}
 	if workers > 1 {
 		err = r.runPipelined(workers)
 	} else {
@@ -963,6 +982,8 @@ type runner struct {
 	src    *prng.Source
 	res    *Result
 	done   []bool
+	// commits counts committed faults for the checkpoint cadence.
+	commits int
 }
 
 // newGenerator builds one worker's scratch over the shared tables.
@@ -995,6 +1016,7 @@ func (r *runner) runSerial() error {
 		if err := r.commit(fi, c, status, g.Backtracks); err != nil {
 			return err
 		}
+		r.maybeCheckpoint()
 	}
 	return nil
 }
@@ -1093,6 +1115,7 @@ func (r *runner) runPipelined(workers int) error {
 		if err := r.commit(j.fi, j.c, j.status, j.backtracks); err != nil {
 			return err
 		}
+		r.maybeCheckpoint()
 	}
 }
 

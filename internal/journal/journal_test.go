@@ -1,0 +1,442 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// reopen closes j and reopens the same directory, returning the replayed
+// records.
+func reopen(t *testing.T, j *Journal, opt Options) (*Journal, []Record) {
+	t.Helper()
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	j2, recs, err := Open(j.Dir(), opt)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	return j2, recs
+}
+
+func mustOpen(t *testing.T, dir string, opt Options) (*Journal, []Record) {
+	t.Helper()
+	j, recs, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return j, recs
+}
+
+func sameRecords(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Op != b[i].Op || a[i].ID != b[i].ID || !bytes.Equal(a[i].Data, b[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEmptyDirAndEmptyFile(t *testing.T) {
+	dir := t.TempDir()
+	j, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("fresh dir replayed %d records", len(recs))
+	}
+	if j.Depth() != 0 {
+		t.Fatalf("fresh depth = %d", j.Depth())
+	}
+	// Reopening with a zero-byte segment present (crash before first
+	// append) must also replay cleanly.
+	j2, recs := reopen(t, j, Options{})
+	defer j2.Close()
+	if len(recs) != 0 {
+		t.Fatalf("empty segment replayed %d records", len(recs))
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	want := []Record{
+		{Op: OpSubmitted, ID: "job-1", Data: []byte(`{"kind":"atpg"}`)},
+		{Op: OpStarted, ID: "job-1"},
+		{Op: OpCheckpoint, ID: "job-1", Data: bytes.Repeat([]byte{0xAB}, 1000)},
+		{Op: OpDone, ID: "job-1", Data: []byte("result")},
+		{Op: OpSubmitted, ID: "job-2", Data: nil},
+		{Op: OpCanceled, ID: "job-2"},
+	}
+	if err := j.AppendSync(want[:3]...); err != nil {
+		t.Fatalf("AppendSync: %v", err)
+	}
+	if err := j.Append(want[3:]...); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if got := j.Depth(); got != len(want) {
+		t.Fatalf("Depth = %d, want %d", got, len(want))
+	}
+	j2, recs := reopen(t, j, Options{})
+	defer j2.Close()
+	if !sameRecords(recs, want) {
+		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", recs, want)
+	}
+	if got := j2.Depth(); got != len(want) {
+		t.Fatalf("replayed Depth = %d, want %d", got, len(want))
+	}
+}
+
+// TestTornTailEveryOffset truncates the final record at every possible
+// byte offset and checks that replay recovers exactly the earlier
+// records, then that the journal accepts new appends after recovery.
+func TestTornTailEveryOffset(t *testing.T) {
+	prefix := []Record{
+		{Op: OpSubmitted, ID: "a", Data: []byte("alpha")},
+		{Op: OpStarted, ID: "a"},
+	}
+	last := Record{Op: OpDone, ID: "a", Data: []byte("omega-result")}
+
+	// Build a pristine copy once to learn the offsets.
+	master := t.TempDir()
+	j, _ := mustOpen(t, master, Options{NoSync: true})
+	if err := j.Append(append(prefix[:len(prefix):len(prefix)], last)...); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segPath := filepath.Join(master, segName(1))
+	full, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	offs, err := Boundaries(segPath)
+	if err != nil {
+		t.Fatalf("Boundaries: %v", err)
+	}
+	if len(offs) != 4 { // 0, after rec1, after rec2, after rec3
+		t.Fatalf("Boundaries = %v, want 4 offsets", offs)
+	}
+	lastStart := offs[2]
+
+	for cut := lastStart; cut < int64(len(full)); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), full[:cut], 0o644); err != nil {
+			t.Fatalf("cut %d: write: %v", cut, err)
+		}
+		jr, recs, err := Open(dir, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		if !sameRecords(recs, prefix) {
+			t.Fatalf("cut %d: replayed %d records, want the %d-record prefix", cut, len(recs), len(prefix))
+		}
+		// The torn tail must be gone from disk so the next append starts
+		// at a record boundary.
+		if err := jr.AppendSync(Record{Op: OpFailed, ID: "a", Data: []byte("post-crash")}); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		jr2, recs := reopen(t, jr, Options{NoSync: true})
+		jr2.Close()
+		want := append(prefix[:len(prefix):len(prefix)], Record{Op: OpFailed, ID: "a", Data: []byte("post-crash")})
+		if !sameRecords(recs, want) {
+			t.Fatalf("cut %d: post-recovery replay mismatch: got %+v", cut, recs)
+		}
+	}
+}
+
+// TestCorruptMiddleRecordFailsLoudly flips a payload byte in an interior
+// record: Open must refuse with ErrCorrupt rather than skip it.
+func TestCorruptMiddleRecordFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{NoSync: true})
+	recs := []Record{
+		{Op: OpSubmitted, ID: "x", Data: []byte("first")},
+		{Op: OpStarted, ID: "x", Data: []byte("second")},
+		{Op: OpDone, ID: "x", Data: []byte("third")},
+	}
+	if err := j.Append(recs...); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segPath := filepath.Join(dir, segName(1))
+	offs, err := Boundaries(segPath)
+	if err != nil {
+		t.Fatalf("Boundaries: %v", err)
+	}
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	// Flip a byte inside the second record's payload.
+	data[offs[1]+frameHeaderSize+2] ^= 0xFF
+	if err := os.WriteFile(segPath, data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	_, _, err = Open(dir, Options{NoSync: true})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on mid-file corruption: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCorruptFinalRecordTruncates: a CRC failure on a frame ending
+// exactly at EOF is indistinguishable from a torn write and must be
+// truncated, not fatal.
+func TestCorruptFinalRecordTruncates(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{NoSync: true})
+	if err := j.Append(
+		Record{Op: OpSubmitted, ID: "x", Data: []byte("keep")},
+		Record{Op: OpDone, ID: "x", Data: []byte("tail")},
+	); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segPath := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(segPath, data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	j2, recs := mustOpen(t, dir, Options{NoSync: true})
+	defer j2.Close()
+	if len(recs) != 1 || recs[0].ID != "x" || string(recs[0].Data) != "keep" {
+		t.Fatalf("replay after tail corruption = %+v, want just the first record", recs)
+	}
+}
+
+// TestInteriorSegmentTornFails: a truncated frame in a non-final segment
+// is corruption (crashes only tear the end of the log).
+func TestInteriorSegmentTornFails(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{NoSync: true, SegmentBytes: 1})
+	// SegmentBytes=1 forces rotation on every append after the first.
+	for i := 0; i < 3; i++ {
+		if err := j.Append(Record{Op: OpSubmitted, ID: fmt.Sprintf("job-%d", i)}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("want >=2 segments, got %v (err %v)", segs, err)
+	}
+	first := filepath.Join(dir, segName(segs[0]))
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if err := os.WriteFile(first, data[:len(data)-3], 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	_, _, err = Open(dir, Options{NoSync: true})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on torn interior segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every append past the first record rotates.
+	j, _ := mustOpen(t, dir, Options{NoSync: true, SegmentBytes: 64})
+	var want []Record
+	for i := 0; i < 20; i++ {
+		r := Record{Op: OpAttempt, ID: fmt.Sprintf("job-%02d", i), Data: bytes.Repeat([]byte{byte(i)}, 40)}
+		want = append(want, r)
+		if err := j.Append(r); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatalf("listSegments: %v", err)
+	}
+	if len(segs) < 5 {
+		t.Fatalf("expected many segments, got %v", segs)
+	}
+	j2, recs := reopen(t, j, Options{NoSync: true, SegmentBytes: 64})
+	defer j2.Close()
+	if !sameRecords(recs, want) {
+		t.Fatalf("multi-segment replay mismatch: %d records, want %d", len(recs), len(want))
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{NoSync: true, SegmentBytes: 64})
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("job-%d", i)
+		if err := j.Append(
+			Record{Op: OpSubmitted, ID: id, Data: []byte("req")},
+			Record{Op: OpDone, ID: id, Data: []byte("res")},
+		); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	live := []Record{
+		{Op: OpSubmitted, ID: "job-9", Data: []byte("req")},
+		{Op: OpDone, ID: "job-9", Data: []byte("res")},
+	}
+	if err := j.Compact(live); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if got := j.Depth(); got != len(live) {
+		t.Fatalf("Depth after compact = %d, want %d", got, len(live))
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatalf("listSegments: %v", err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("segments after compact = %v, want exactly one", segs)
+	}
+	// The compacted journal must still accept appends and replay both.
+	extra := Record{Op: OpSubmitted, ID: "job-10", Data: []byte("new")}
+	if err := j.AppendSync(extra); err != nil {
+		t.Fatalf("append after compact: %v", err)
+	}
+	j2, recs := reopen(t, j, Options{NoSync: true})
+	defer j2.Close()
+	want := append(live[:len(live):len(live)], extra)
+	if !sameRecords(recs, want) {
+		t.Fatalf("replay after compact = %+v, want %+v", recs, want)
+	}
+}
+
+func TestCompactEmpty(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{NoSync: true})
+	if err := j.Append(Record{Op: OpSubmitted, ID: "gone"}); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := j.Compact(nil); err != nil {
+		t.Fatalf("Compact(nil): %v", err)
+	}
+	if j.Depth() != 0 {
+		t.Fatalf("Depth after empty compact = %d", j.Depth())
+	}
+	j2, recs := reopen(t, j, Options{NoSync: true})
+	defer j2.Close()
+	if len(recs) != 0 {
+		t.Fatalf("replay after empty compact = %+v", recs)
+	}
+}
+
+func TestConcurrentAppendSync(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r := Record{Op: OpAttempt, ID: fmt.Sprintf("w%d-%d", w, i)}
+				if err := j.AppendSync(r); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent AppendSync: %v", err)
+	}
+	j2, recs := reopen(t, j, Options{})
+	defer j2.Close()
+	if len(recs) != writers*each {
+		t.Fatalf("replayed %d records, want %d", len(recs), writers*each)
+	}
+	seen := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		if seen[r.ID] {
+			t.Fatalf("duplicate record %q", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestClosedJournal(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := j.Append(Record{Op: OpSubmitted, ID: "x"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after close: %v, want ErrClosed", err)
+	}
+	if err := j.AppendSync(Record{Op: OpSubmitted, ID: "x"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("AppendSync after close: %v, want ErrClosed", err)
+	}
+	if err := j.Compact(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Compact after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestRecordTooLarge(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{NoSync: true})
+	defer j.Close()
+	big := Record{Op: OpCheckpoint, ID: "x", Data: make([]byte, MaxRecordBytes)}
+	if err := j.Append(big); !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("oversized Append: %v, want ErrRecordTooLarge", err)
+	}
+}
+
+// TestBoundaries pins the helper the chaos harness leans on: offsets are
+// strictly increasing, start at 0, and end at the file size.
+func TestBoundaries(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{NoSync: true})
+	for i := 0; i < 5; i++ {
+		if err := j.Append(Record{Op: OpSubmitted, ID: fmt.Sprintf("j%d", i), Data: make([]byte, i*7)}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segPath := filepath.Join(dir, segName(1))
+	offs, err := Boundaries(segPath)
+	if err != nil {
+		t.Fatalf("Boundaries: %v", err)
+	}
+	if len(offs) != 6 || offs[0] != 0 {
+		t.Fatalf("Boundaries = %v, want 6 offsets starting at 0", offs)
+	}
+	st, err := os.Stat(segPath)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if offs[len(offs)-1] != st.Size() {
+		t.Fatalf("final boundary %d != file size %d", offs[len(offs)-1], st.Size())
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] <= offs[i-1] {
+			t.Fatalf("Boundaries not increasing: %v", offs)
+		}
+	}
+}

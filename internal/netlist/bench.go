@@ -2,10 +2,27 @@ package netlist
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+)
+
+// Typed parse failures for structurally bad .bench input, distinguishable
+// with errors.Is. They exist because the daemon feeds client-supplied
+// netlists into ReadBench: every malformed shape must surface as a clean
+// error here rather than a panic or quadratic blow-up downstream.
+var (
+	// ErrDuplicateDef marks a signal defined more than once (two gate
+	// lines, an INPUT clashing with a gate, or a DFF output clashing with
+	// either).
+	ErrDuplicateDef = errors.New("netlist: duplicate signal definition")
+	// ErrUndefinedSignal marks a gate fan-in that no INPUT, gate or DFF
+	// line defines.
+	ErrUndefinedSignal = errors.New("netlist: undefined signal")
+	// ErrCycle marks a combinational cycle among gate definitions.
+	ErrCycle = errors.New("netlist: combinational cycle")
 )
 
 // ReadBench parses the ISCAS-89/85 .bench netlist dialect:
@@ -46,6 +63,17 @@ func ReadBench(r io.Reader) (*Netlist, error) {
 		q, d string
 	}
 	var dffs []dff
+	// defLine records the first defining line of every signal (INPUT, gate
+	// left-hand side, DFF output) so redefinitions fail with both
+	// locations instead of a cryptic insert error later.
+	defLine := make(map[string]int)
+	define := func(name string, line int) error {
+		if first, dup := defLine[name]; dup {
+			return fmt.Errorf("%w: %q defined on lines %d and %d", ErrDuplicateDef, name, first, line)
+		}
+		defLine[name] = line
+		return nil
+	}
 	line := 0
 	for sc.Scan() {
 		line++
@@ -64,6 +92,9 @@ func ReadBench(r io.Reader) (*Netlist, error) {
 			if err != nil {
 				return nil, fmt.Errorf("netlist: line %d: %v", line, err)
 			}
+			if err := define(name, line); err != nil {
+				return nil, err
+			}
 			if _, err := n.AddInput(name); err != nil {
 				return nil, fmt.Errorf("netlist: line %d: %v", line, err)
 			}
@@ -76,6 +107,9 @@ func ReadBench(r io.Reader) (*Netlist, error) {
 		case strings.Contains(text, "="):
 			parts := strings.SplitN(text, "=", 2)
 			name := strings.TrimSpace(parts[0])
+			if name == "" {
+				return nil, fmt.Errorf("netlist: line %d: gate with empty name in %q", line, text)
+			}
 			rhs := strings.TrimSpace(parts[1])
 			open := strings.IndexByte(rhs, '(')
 			close := strings.LastIndexByte(rhs, ')')
@@ -85,7 +119,14 @@ func ReadBench(r io.Reader) (*Netlist, error) {
 			fn := strings.ToUpper(strings.TrimSpace(rhs[:open]))
 			var fanin []string
 			for _, f := range strings.Split(rhs[open+1:close], ",") {
-				fanin = append(fanin, strings.TrimSpace(f))
+				f = strings.TrimSpace(f)
+				if f == "" {
+					return nil, fmt.Errorf("netlist: line %d: empty fan-in name in %q", line, text)
+				}
+				fanin = append(fanin, f)
+			}
+			if err := define(name, line); err != nil {
+				return nil, err
 			}
 			if fn == "DFF" {
 				if len(fanin) != 1 {
@@ -116,32 +157,82 @@ func ReadBench(r io.Reader) (*Netlist, error) {
 			return nil, fmt.Errorf("netlist: DFF %q: %v", d.q, err)
 		}
 	}
-	// Gates may be declared in any order; insert once fan-ins exist.
-	remaining := gates
-	for len(remaining) > 0 {
-		progress := false
-		var next []pendingGate
-		for _, g := range remaining {
-			ready := true
-			for _, f := range g.fanin {
-				if _, ok := n.byName[f]; !ok {
-					ready = false
-					break
-				}
+	// Gates may be declared in any order; insert once fan-ins exist. The
+	// historical algorithm made repeated passes over the remaining gates
+	// in file order, inserting every gate whose fan-ins existed —
+	// quadratic on adversarial inputs (a backwards dependency chain), the
+	// classic way to stall the daemon with a legal-looking upload. This
+	// pass reproduces that insertion order exactly in O(V+E): a gate's
+	// "round" is 1 more than the latest-resolving fan-in that appears
+	// *after* it in the file (fan-ins appearing before it resolve within
+	// the same pass), and the historical order is exactly (round, file
+	// position). Undefined fan-ins and cycles fall out of the same walk as
+	// typed errors instead of one ambiguous message.
+	pendingIdx := make(map[string]int, len(gates))
+	for i, g := range gates {
+		pendingIdx[g.name] = i
+	}
+	round := make([]int, len(gates))
+	indeg := make([]int, len(gates))
+	waiters := make([][]int32, len(gates)) // waiters[i]: pending gates whose fan-in list names gate i
+	for i, g := range gates {
+		for _, f := range g.fanin {
+			if _, base := n.byName[f]; base {
+				continue // input or DFF pseudo-input: resolved from the start
 			}
-			if !ready {
-				next = append(next, g)
-				continue
+			j, ok := pendingIdx[f]
+			if !ok {
+				return nil, fmt.Errorf("%w: gate %q (line %d) reads %q, which no INPUT, gate or DFF line defines", ErrUndefinedSignal, g.name, g.line, f)
 			}
-			if _, err := n.AddGate(g.name, g.typ, g.fanin...); err != nil {
-				return nil, fmt.Errorf("netlist: line %d: %v", g.line, err)
-			}
-			progress = true
+			indeg[i]++
+			waiters[j] = append(waiters[j], int32(i))
 		}
-		if !progress {
-			return nil, fmt.Errorf("netlist: unresolved signals (cycle or missing declaration), e.g. gate %q", next[0].name)
+	}
+	queue := make([]int, 0, len(gates))
+	for i := range gates {
+		if indeg[i] == 0 {
+			round[i] = 1
+			queue = append(queue, i)
 		}
-		remaining = next
+	}
+	resolved := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		resolved++
+		for _, wi := range waiters[i] {
+			w := int(wi)
+			r := round[i]
+			if i > w {
+				// The dependency sits later in the file: the historical
+				// scan could not see it resolved until the next pass.
+				r++
+			}
+			if r > round[w] {
+				round[w] = r
+			}
+			if indeg[w]--; indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if resolved < len(gates) {
+		for i, g := range gates {
+			if indeg[i] > 0 {
+				return nil, fmt.Errorf("%w: through gate %q (line %d)", ErrCycle, g.name, g.line)
+			}
+		}
+	}
+	order := make([]int, len(gates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return round[order[a]] < round[order[b]] })
+	for _, i := range order {
+		g := gates[i]
+		if _, err := n.AddGate(g.name, g.typ, g.fanin...); err != nil {
+			return nil, fmt.Errorf("netlist: line %d: %v", g.line, err)
+		}
 	}
 	for _, o := range outputs {
 		if err := n.MarkOutput(o); err != nil {

@@ -2,8 +2,11 @@ package netlist
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 )
 
 // benchCommentFixture is an ISCAS-style netlist with the comment shapes
@@ -155,5 +158,134 @@ func TestBenchRoundTripHash(t *testing.T) {
 				t.Fatal("WriteBench output is not a fixed point of ReadBench∘WriteBench")
 			}
 		})
+	}
+}
+
+// TestReadBenchDuplicateDefinitions: every way a signal can be defined
+// twice must fail with ErrDuplicateDef naming both lines, not a generic
+// insert error (or silently shadow).
+func TestReadBenchDuplicateDefinitions(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"two gates", "INPUT(a)\nINPUT(b)\nOUTPUT(g)\ng = AND(a, b)\ng = OR(a, b)\n"},
+		{"gate shadows input", "INPUT(a)\nINPUT(b)\nOUTPUT(a)\na = AND(a, b)\n"},
+		{"input repeated", "INPUT(a)\nINPUT(a)\nOUTPUT(g)\ng = NOT(a)\n"},
+		{"dff output clashes with gate", "INPUT(a)\nOUTPUT(g)\ng = NOT(a)\ng = DFF(a)\n"},
+		{"dff output clashes with input", "INPUT(a)\nOUTPUT(g)\ng = NOT(a)\na = DFF(g)\n"},
+	}
+	for _, tc := range cases {
+		_, err := ReadBench(strings.NewReader(tc.src))
+		if !errors.Is(err, ErrDuplicateDef) {
+			t.Errorf("%s: err = %v, want ErrDuplicateDef", tc.name, err)
+		}
+	}
+}
+
+// TestReadBenchUndefinedSignal: a fan-in no line defines must fail with
+// ErrUndefinedSignal, distinct from the cycle error the old parser
+// conflated it with.
+func TestReadBenchUndefinedSignal(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(g)\ng = AND(a, ghost)\n"
+	_, err := ReadBench(strings.NewReader(src))
+	if !errors.Is(err, ErrUndefinedSignal) {
+		t.Fatalf("err = %v, want ErrUndefinedSignal", err)
+	}
+	if errors.Is(err, ErrCycle) {
+		t.Fatalf("undefined signal misreported as cycle: %v", err)
+	}
+	if !strings.Contains(err.Error(), "ghost") {
+		t.Fatalf("error does not name the missing signal: %v", err)
+	}
+}
+
+// TestReadBenchCombinationalCycle: cyclic gate definitions — which the
+// old parser reported ambiguously and levelization would reject only
+// after the netlist was half-built — fail with ErrCycle at parse time.
+func TestReadBenchCombinationalCycle(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"self-loop", "INPUT(a)\nOUTPUT(g)\ng = AND(a, g)\n"},
+		{"two-cycle", "INPUT(a)\nOUTPUT(p)\np = AND(a, q)\nq = OR(a, p)\n"},
+		{"three-cycle", "INPUT(a)\nOUTPUT(x)\nx = NOT(y)\ny = NOT(z)\nz = NOT(x)\n"},
+	}
+	for _, tc := range cases {
+		_, err := ReadBench(strings.NewReader(tc.src))
+		if !errors.Is(err, ErrCycle) {
+			t.Errorf("%s: err = %v, want ErrCycle", tc.name, err)
+		}
+	}
+}
+
+// TestReadBenchEmptyNames: blank gate or fan-in names are structural
+// garbage, not signals.
+func TestReadBenchEmptyNames(t *testing.T) {
+	for _, src := range []string{
+		"INPUT(a)\n = AND(a, a)\n",
+		"INPUT(a)\nOUTPUT(g)\ng = AND(a, )\n",
+		"INPUT(a)\nOUTPUT(g)\ng = AND(, a)\n",
+	} {
+		if _, err := ReadBench(strings.NewReader(src)); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+// TestReadBenchInsertionOrderPreserved pins the resolution rewrite to the
+// historical pass-by-pass insertion order: gates declared out of
+// dependency order land in the netlist exactly where the old quadratic
+// loop put them, so gate indices — and everything keyed on them — are
+// unchanged.
+func TestReadBenchInsertionOrderPreserved(t *testing.T) {
+	// File order: c needs b (later), d needs nothing, b needs a (later,
+	// pass 3), a needs inputs only. Historical passes insert d+a (pass 1),
+	// b (pass 2), c (pass 3).
+	src := `INPUT(i1)
+INPUT(i2)
+OUTPUT(c)
+OUTPUT(d)
+c = AND(b, i1)
+d = OR(i1, i2)
+b = NOT(a)
+a = NAND(i1, i2)
+`
+	n, err := ReadBench(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadBench: %v", err)
+	}
+	var order []string
+	for _, g := range n.Gates {
+		if g.Type != Input {
+			order = append(order, g.Name)
+		}
+	}
+	want := []string{"d", "a", "b", "c"}
+	if strings.Join(order, " ") != strings.Join(want, " ") {
+		t.Fatalf("insertion order = %v, want %v", order, want)
+	}
+}
+
+// TestReadBenchBackwardsChainFast is the hang regression: a long
+// dependency chain declared in reverse order was quadratic in the old
+// resolver (~n passes over n gates) — at daemon body-cap sizes that is
+// effectively a hang from one adversarial upload. The linear resolver
+// parses it as fast as any other netlist; the test budget fails loudly if
+// quadratic behavior ever returns.
+func TestReadBenchBackwardsChainFast(t *testing.T) {
+	const chain = 20000
+	var sb strings.Builder
+	sb.WriteString("INPUT(i0)\n")
+	fmt.Fprintf(&sb, "OUTPUT(g%d)\n", chain-1)
+	for i := chain - 1; i > 0; i-- {
+		fmt.Fprintf(&sb, "g%d = NOT(g%d)\n", i, i-1)
+	}
+	sb.WriteString("g0 = NOT(i0)\n")
+	start := time.Now()
+	n, err := ReadBench(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("ReadBench: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("backwards chain took %v — resolution is quadratic again", elapsed)
+	}
+	if n.NumGates() != chain+1 {
+		t.Fatalf("parsed %d nodes, want %d", n.NumGates(), chain+1)
 	}
 }

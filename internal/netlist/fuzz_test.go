@@ -1,0 +1,76 @@
+package netlist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBench hardens the parser against arbitrary client uploads —
+// since PR 9 the daemon feeds untrusted .bench text straight into
+// ReadBench at admission time, so any panic, hang or structurally broken
+// netlist it lets through is a remote crash vector. Inputs that parse
+// must satisfy the pipeline's preconditions (levelizable DAG, consistent
+// Summary) and the serialization must be a fixed point: WriteBench output
+// reparses to a netlist that writes the same bytes and hashes
+// identically. Hash equality against the *original* parse is deliberately
+// not asserted — file order and levelized order may index gates
+// differently — but the first rewrite canonicalizes, so everything after
+// it must be stable.
+func FuzzReadBench(f *testing.F) {
+	f.Add([]byte(benchCommentFixture))
+	f.Add([]byte("INPUT(a)\nINPUT(b)\nOUTPUT(c)\nc = NAND(a, b)\n"))
+	f.Add([]byte("INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = NOT(a)\n"))
+	f.Add([]byte("INPUT(a)\nOUTPUT(g)\ng = AND(a, ghost)\n"))
+	f.Add([]byte("INPUT(a)\nOUTPUT(p)\np = AND(a, q)\nq = OR(a, p)\n"))
+	f.Add([]byte("INPUT(a)\nINPUT(a)\n"))
+	f.Add([]byte("g1 = NOT(g0)\ng0 = NOT(g1)\n"))
+	f.Add([]byte("INPUT(a)\nOUTPUT(g)\ng = XOR(a, a) # trailing ) comment\n"))
+	f.Add([]byte(" = AND(a, )\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64<<10 {
+			return // admission control caps real uploads far below this
+		}
+		n, err := ReadBench(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is a correct outcome; no panic happened
+		}
+		// Whatever parsed must be a levelizable DAG with a coherent
+		// summary — the properties every downstream engine assumes.
+		if _, err := n.Levelize(); err != nil {
+			t.Fatalf("parsed netlist fails Levelize: %v", err)
+		}
+		st, err := n.Summary()
+		if err != nil {
+			t.Fatalf("parsed netlist fails Summary: %v", err)
+		}
+		var w1 bytes.Buffer
+		if err := n.WriteBench(&w1); err != nil {
+			t.Fatalf("WriteBench: %v", err)
+		}
+		n2, err := ReadBench(bytes.NewReader(w1.Bytes()))
+		if err != nil {
+			t.Fatalf("reparse of own output failed: %v\noutput:\n%s", err, w1.Bytes())
+		}
+		st2, err := n2.Summary()
+		if err != nil {
+			t.Fatalf("reparsed Summary: %v", err)
+		}
+		if st != st2 {
+			t.Fatalf("summary changed across rewrite: %+v != %+v", st, st2)
+		}
+		var w2 bytes.Buffer
+		if err := n2.WriteBench(&w2); err != nil {
+			t.Fatalf("second WriteBench: %v", err)
+		}
+		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+			t.Fatalf("WriteBench is not a fixed point:\nfirst:\n%s\nsecond:\n%s", w1.Bytes(), w2.Bytes())
+		}
+		n3, err := ReadBench(bytes.NewReader(w2.Bytes()))
+		if err != nil {
+			t.Fatalf("third parse failed: %v", err)
+		}
+		if n2.Hash() != n3.Hash() {
+			t.Fatalf("hash unstable across canonical rewrites: %#x != %#x", n2.Hash(), n3.Hash())
+		}
+	})
+}

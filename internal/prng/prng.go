@@ -15,6 +15,16 @@ type Source struct {
 // New returns a Source seeded with the given value.
 func New(seed uint64) *Source { return &Source{state: seed} }
 
+// State returns the generator's internal state. Together with SetState it
+// lets a consumer checkpoint and later resume the stream mid-sequence
+// (SplitMix64's whole state is one word), which crash recovery uses to
+// keep a resumed run's random fill bit-identical to an uninterrupted one.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState restores a state previously captured with State; the next
+// Uint64 continues the stream exactly where the capture left it.
+func (s *Source) SetState(state uint64) { s.state = state }
+
 // Uint64 returns the next 64 pseudorandom bits.
 func (s *Source) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

@@ -126,3 +126,22 @@ func TestShuffle(t *testing.T) {
 		t.Errorf("shuffle lost elements: %v", vals)
 	}
 }
+
+func TestStateRoundTrip(t *testing.T) {
+	src := New(42)
+	for i := 0; i < 17; i++ {
+		src.Uint64()
+	}
+	mid := src.State()
+	var tail []uint64
+	for i := 0; i < 100; i++ {
+		tail = append(tail, src.Uint64())
+	}
+	resumed := New(0)
+	resumed.SetState(mid)
+	for i, want := range tail {
+		if got := resumed.Uint64(); got != want {
+			t.Fatalf("resumed stream diverged at %d: %#x != %#x", i, got, want)
+		}
+	}
+}

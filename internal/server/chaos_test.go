@@ -41,7 +41,7 @@ func TestChaosPanicIsolated(t *testing.T) {
 	before := runtime.NumGoroutine()
 	var victim atomic.Value
 	victim.Store("")
-	s := New(Config{
+	s := newTest(t, Config{
 		JobWorkers: 2,
 		MaxRetries: 1,
 		Sleeper:    &recordSleeper{},
@@ -94,7 +94,7 @@ func TestChaosPanicIsolated(t *testing.T) {
 // the per-job deadline to cut them loose with the typed error.
 func TestChaosStallHitsDeadline(t *testing.T) {
 	before := runtime.NumGoroutine()
-	s := New(Config{
+	s := newTest(t, Config{
 		JobWorkers:     1,
 		DefaultTimeout: 50 * time.Millisecond,
 		Hook: func(ctx context.Context, id string, stage Stage) error {
@@ -125,7 +125,7 @@ func TestChaosStallHitsDeadline(t *testing.T) {
 // cleanly, and nothing leaks — the deadlock/leak regression net.
 func TestChaosCancelStorm(t *testing.T) {
 	before := runtime.NumGoroutine()
-	s := New(Config{JobWorkers: 4, QueueSize: 64, EngineWorkers: 2})
+	s := newTest(t, Config{JobWorkers: 4, QueueSize: 64, EngineWorkers: 2})
 	var ids []string
 	for i := 0; i < 12; i++ {
 		req := Request{Kind: KindEncode, L: 4 + 2*(i%3)}
@@ -167,7 +167,7 @@ func TestChaosCancelStorm(t *testing.T) {
 // job lands in failed (not canceled, not hung) after MaxRetries+1 tries.
 func TestChaosHookErrorExhaustsRetries(t *testing.T) {
 	before := runtime.NumGoroutine()
-	s := New(Config{
+	s := newTest(t, Config{
 		JobWorkers: 1,
 		MaxRetries: 2,
 		Sleeper:    &recordSleeper{},

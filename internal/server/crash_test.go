@@ -1,0 +1,336 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// crashConfig is the journal-enabled base config for crash tests. NoSync
+// keeps fsync out of the hot loops; the crash simulation severs the
+// journal at the Go API layer, so durability of the OS page cache is not
+// what these tests probe.
+func crashConfig(dir string) Config {
+	return Config{
+		JobWorkers:     2,
+		JournalDir:     dir,
+		JournalOptions: journal.Options{NoSync: true},
+	}
+}
+
+// crash simulates a SIGKILL for an in-process server: sever the journal
+// first (nothing more reaches disk, exactly as when the process dies),
+// then tear the server down without a clean drain.
+func crash(s *Server) {
+	s.Journal().Close() //nolint:errcheck
+	s.Close()
+}
+
+// TestJournalServerRecovery is the in-process kill storm: submit a storm
+// of keyed jobs, crash mid-storm, restart on the same journal, resubmit
+// every key, and require every acknowledged job to reach a terminal
+// state exactly once — no duplicates, no losses.
+func TestJournalServerRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := crashConfig(dir)
+	// Slow attempts down so a healthy slice of the storm is still in
+	// flight at crash time.
+	cfg.Hook = func(ctx context.Context, id string, stage Stage) error {
+		if stage == StageAttempt {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(20 * time.Millisecond):
+			}
+		}
+		return nil
+	}
+	s := newTest(t, cfg)
+
+	const storm = 12
+	reqFor := func(i int) Request {
+		return Request{
+			Kind: KindCoverage, Inputs: 12, Outputs: 4, Gates: 40,
+			Patterns: 32, Seed: uint64(i + 1),
+			IdempotencyKey: fmt.Sprintf("storm-%02d", i),
+		}
+	}
+	ids := make(map[string]string, storm) // key → acked job ID
+	for i := 0; i < storm; i++ {
+		st, err := s.Submit(reqFor(i))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids[reqFor(i).IdempotencyKey] = st.ID
+	}
+	time.Sleep(50 * time.Millisecond) // let a few finish, leave the rest in flight
+	crash(s)
+
+	s2 := newTest(t, crashConfig(dir))
+	defer s2.Close()
+	if got := s2.MetricsSnapshot().Journal.Replayed; got < 1 {
+		t.Fatalf("expected interrupted jobs to be replayed, metric says %d", got)
+	}
+	// A client that lost its 202 retries with the same key: every retry
+	// must dedup onto the recovered job, never fork a duplicate.
+	for i := 0; i < storm; i++ {
+		req := reqFor(i)
+		st, err := s2.Submit(req)
+		if err != nil {
+			t.Fatalf("resubmit %s: %v", req.IdempotencyKey, err)
+		}
+		if !st.Deduped {
+			t.Fatalf("resubmit %s created a new job %s instead of deduping", req.IdempotencyKey, st.ID)
+		}
+		if st.ID != ids[req.IdempotencyKey] {
+			t.Fatalf("key %s resolved to %s before the crash and %s after", req.IdempotencyKey, ids[req.IdempotencyKey], st.ID)
+		}
+	}
+	for _, id := range ids {
+		st := waitState(t, s2, id, StateDone)
+		if st.State != StateDone {
+			t.Fatalf("job %s recovered into %s", id, st.State)
+		}
+	}
+	if jobs := s2.Jobs(); len(jobs) != storm {
+		t.Fatalf("recovered server has %d jobs, want exactly %d", len(jobs), storm)
+	}
+}
+
+// TestCheckpointResumeServerBitIdentical crashes an ATPG job between
+// checkpoints and requires the resumed run's result to be bit-identical
+// to an uninterrupted reference — the end-to-end form of the engine-level
+// guarantee in internal/atpg.
+func TestCheckpointResumeServerBitIdentical(t *testing.T) {
+	req := Request{Kind: KindATPG, Inputs: 60, Outputs: 16, Gates: 900, Seed: 11, Backtrack: 50, IdempotencyKey: "atpg-resume"}
+
+	ref := newTest(t, Config{JobWorkers: 1})
+	rst, err := ref.Submit(req)
+	if err != nil {
+		t.Fatalf("reference submit: %v", err)
+	}
+	waitState(t, ref, rst.ID, StateDone)
+	refRes, _, err := ref.Result(rst.ID)
+	if err != nil || refRes == nil || refRes.ATPG == nil {
+		t.Fatalf("reference result: %+v, %v", refRes, err)
+	}
+	ref.Close()
+
+	dir := t.TempDir()
+	cfg := crashConfig(dir)
+	cfg.JobWorkers = 1
+	cfg.CheckpointEvery = 2
+	s := newTest(t, cfg)
+	st, err := s.Submit(req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) && s.MetricsSnapshot().Journal.Checkpoints < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	if n := s.MetricsSnapshot().Journal.Checkpoints; n < 2 {
+		t.Fatalf("only %d checkpoints before deadline", n)
+	}
+	if cur, err := s.Status(st.ID); err != nil || cur.State.Terminal() {
+		t.Fatalf("job already terminal (%+v, %v) — enlarge the core so the crash lands mid-run", cur, err)
+	}
+	crash(s)
+
+	cfg2 := crashConfig(dir)
+	cfg2.JobWorkers = 1
+	s2 := newTest(t, cfg2)
+	defer s2.Close()
+	fin := waitState(t, s2, st.ID, StateDone)
+	if !fin.Resumed {
+		t.Fatalf("recovered job not marked resumed: %+v", fin)
+	}
+	if n := s2.MetricsSnapshot().Journal.Resumed; n < 1 {
+		t.Fatalf("job did not resume from its checkpoint (resumed metric %d)", n)
+	}
+	got, _, err := s2.Result(st.ID)
+	if err != nil || got == nil || got.ATPG == nil {
+		t.Fatalf("recovered result: %+v, %v", got, err)
+	}
+	if !reflect.DeepEqual(got.ATPG, refRes.ATPG) {
+		t.Fatalf("resumed result differs from uninterrupted run:\n got %+v\nwant %+v", got.ATPG, refRes.ATPG)
+	}
+}
+
+// TestReplayCanceledAndOrphanRecords pins the replay policy edge cases:
+// a canceled job (acked or not) stays terminal and is never re-run, and
+// a non-terminal job with no durable OpSubmitted — the client never got
+// its 202 — is dropped entirely.
+func TestReplayCanceledAndOrphanRecords(t *testing.T) {
+	dir := t.TempDir()
+	jn, recs, err := journal.Open(dir, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	sub := func(seq uint64, key string) []byte {
+		b, err := json.Marshal(submittedRec{
+			Seq: seq, Key: key, Submitted: now,
+			Req: Request{Kind: KindCoverage, Inputs: 8, Outputs: 2, Gates: 20, Patterns: 8, Seed: 1, IdempotencyKey: key},
+		})
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		return b
+	}
+	canceled, err := json.Marshal(terminalRec{State: StateCanceled, Error: "server: job canceled: canceled while queued", Finished: now})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if err := jn.AppendSync(
+		// j000001: started but never acked → must vanish on replay.
+		journal.Record{Op: journal.OpStarted, ID: "j000001"},
+		// j000002: acked, then canceled while queued → terminal, not re-run.
+		journal.Record{Op: journal.OpSubmitted, ID: "j000002", Data: sub(2, "keep-canceled")},
+		journal.Record{Op: journal.OpCanceled, ID: "j000002", Data: canceled},
+		// j000003: canceled record without an ack (the cancel raced the
+		// crash) → kept as terminal history, never resurrected.
+		journal.Record{Op: journal.OpCanceled, ID: "j000003", Data: canceled},
+	); err != nil {
+		t.Fatalf("AppendSync: %v", err)
+	}
+	if err := jn.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s := newTest(t, crashConfig(dir))
+	defer s.Close()
+	if _, err := s.Status("j000001"); err == nil {
+		t.Fatalf("unacked job j000001 survived replay")
+	}
+	for _, id := range []string{"j000002", "j000003"} {
+		st, err := s.Status(id)
+		if err != nil {
+			t.Fatalf("Status(%s): %v", id, err)
+		}
+		if st.State != StateCanceled {
+			t.Fatalf("%s replayed into %s, want canceled", id, st.State)
+		}
+	}
+	if got := s.MetricsSnapshot().Journal.Replayed; got != 0 {
+		t.Fatalf("replayed metric %d, want 0 (nothing should re-run)", got)
+	}
+	// Give the workers a beat: the canceled jobs must stay canceled.
+	time.Sleep(30 * time.Millisecond)
+	if st, _ := s.Status("j000002"); st.State != StateCanceled || st.Started != nil {
+		t.Fatalf("canceled job was re-run: %+v", st)
+	}
+	// The canceled job's idempotency key still dedups.
+	st, err := s.Submit(Request{Kind: KindCoverage, Inputs: 8, Outputs: 2, Gates: 20, Patterns: 8, Seed: 1, IdempotencyKey: "keep-canceled"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if !st.Deduped || st.ID != "j000002" {
+		t.Fatalf("key of canceled job forked a new job: %+v", st)
+	}
+}
+
+// TestJournalSeverEveryBoundary replays a real workload's journal
+// truncated at every record boundary: whatever prefix survived the crash,
+// the server must come up, run what needs re-running, and drain cleanly
+// with every job terminal — never an error, never a duplicate.
+func TestJournalSeverEveryBoundary(t *testing.T) {
+	dir := t.TempDir()
+	s := newTest(t, crashConfig(dir))
+	small := Request{Kind: KindCoverage, Inputs: 10, Outputs: 3, Gates: 30, Patterns: 16, Seed: 3}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		req := small
+		req.Seed = uint64(i + 1)
+		st, err := s.Submit(req)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, st.ID)
+	}
+	// One failing job so terminal-failed records land in the stream too.
+	bad := Request{Kind: KindATPG, Inputs: 10, Outputs: 3, Gates: 30, Backtrace: "bogus"}
+	st, err := s.Submit(bad)
+	if err != nil {
+		t.Fatalf("submit bad: %v", err)
+	}
+	ids = append(ids, st.ID)
+	for _, id := range ids {
+		waitState(t, s, id, StateDone, StateFailed)
+	}
+	crash(s) // sever before Shutdown can compact: keep the raw record stream
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("expected one segment, got %v (%v)", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	bounds, err := journal.Boundaries(segs[0])
+	if err != nil {
+		t.Fatalf("Boundaries: %v", err)
+	}
+	if len(bounds) < 8 {
+		t.Fatalf("suspiciously few record boundaries: %v", bounds)
+	}
+	known := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		known[id] = true
+	}
+	for _, cut := range bounds {
+		sub := t.TempDir()
+		if err := os.WriteFile(filepath.Join(sub, filepath.Base(segs[0])), data[:cut], 0o644); err != nil {
+			t.Fatalf("cut %d: WriteFile: %v", cut, err)
+		}
+		s2, err := New(crashConfig(sub))
+		if err != nil {
+			t.Fatalf("cut %d: New: %v", cut, err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := s2.Shutdown(ctx); err != nil {
+			cancel()
+			t.Fatalf("cut %d: drain: %v", cut, err)
+		}
+		cancel()
+		for _, jst := range s2.Jobs() {
+			if !known[jst.ID] {
+				t.Fatalf("cut %d: replay invented job %s", cut, jst.ID)
+			}
+			if !jst.State.Terminal() {
+				t.Fatalf("cut %d: job %s drained non-terminal (%s)", cut, jst.ID, jst.State)
+			}
+		}
+	}
+}
+
+// TestJournalSubmitFailureReturnsErrJournal: when durability fails at
+// submit time the client gets the typed 500 sentinel, but the daemon
+// keeps serving and the job still runs.
+func TestJournalSubmitFailureReturnsErrJournal(t *testing.T) {
+	dir := t.TempDir()
+	s := newTest(t, crashConfig(dir))
+	defer s.Close()
+	s.Journal().Close() //nolint:errcheck // simulate a dead disk under a live server
+	st, err := s.Submit(Request{Kind: KindCoverage, Inputs: 8, Outputs: 2, Gates: 20, Patterns: 8, Seed: 1})
+	if !errors.Is(err, ErrJournal) {
+		t.Fatalf("Submit with severed journal: err=%v, want ErrJournal", err)
+	}
+	if st == nil {
+		t.Fatalf("ErrJournal must still return the in-memory status")
+	}
+	// The job was accepted in memory and must still complete.
+	waitState(t, s, st.ID, StateDone)
+}

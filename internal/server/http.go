@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -44,6 +45,21 @@ type Metrics struct {
 		Cached    int `json:"cached"`
 		Evictions int `json:"evictions"`
 	} `json:"cores"`
+	Journal struct {
+		Enabled bool `json:"enabled"`
+		// Depth is the number of records appended since the last
+		// compaction — a proxy for replay cost at next startup.
+		Depth int `json:"depth"`
+		// Replayed counts jobs re-enqueued from the journal at startup.
+		Replayed int64 `json:"replayed_jobs"`
+		// Checkpoints counts ATPG checkpoints durably recorded.
+		Checkpoints int64 `json:"checkpoints"`
+		// Resumed counts ATPG attempts that continued from a checkpoint.
+		Resumed int64 `json:"resumed"`
+	} `json:"journal"`
+	// Shed counts requests refused to protect the daemon: oversized
+	// bodies (413), full-queue, draining and not-ready rejections.
+	Shed int64 `json:"shed_requests"`
 }
 
 // MetricsSnapshot assembles the current metrics.
@@ -78,6 +94,14 @@ func (s *Server) MetricsSnapshot() Metrics {
 	m.Session.EncodingBuildNS = st.EncodingBuildNS
 	m.Session.IndexBuildNS = st.IndexBuildNS
 	m.Session.TableBuildNS = st.TableBuildNS
+	if s.journal != nil {
+		m.Journal.Enabled = true
+		m.Journal.Depth = s.journal.Depth()
+		m.Journal.Replayed = s.metrics.replayed.Load()
+		m.Journal.Checkpoints = s.metrics.checkpoints.Load()
+		m.Journal.Resumed = s.metrics.resumed.Load()
+	}
+	m.Shed = s.metrics.shed.Load()
 	return m
 }
 
@@ -105,8 +129,9 @@ func writeError(w http.ResponseWriter, code int, err error) {
 //	GET    /jobs/{id}      poll one job's Status
 //	GET    /jobs/{id}/result  fetch a terminal job's Result (+Status)
 //	DELETE /jobs/{id}      cancel a job
-//	GET    /metrics        queue/job/cache counters
-//	GET    /healthz        liveness (503 while draining)
+//	GET    /metrics        queue/job/cache/journal counters
+//	GET    /healthz        liveness (always 200 while the process serves)
+//	GET    /readyz         readiness (503 while replaying or draining)
 //
 // A full queue answers POST /jobs with 503 plus a Retry-After header
 // derived from the backlog (queue depth over worker count, so a deeper
@@ -115,6 +140,12 @@ func writeError(w http.ResponseWriter, code int, err error) {
 // process's point of view, and a short retry hint would herd clients into
 // hammering an endpoint that is going away — they should fail over
 // instead. The error body distinguishes the two cases.
+//
+// Untrusted-input guards: request bodies are capped at
+// Config.MaxBodyBytes (413 past it), netlists past the configured
+// gate/input/level caps get 422, and structurally bad .bench text gets a
+// 400 naming the offending line — all decided at admission, before any
+// table build can amplify the input.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
@@ -124,12 +155,21 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	var req Request
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.metrics.shed.Add(1)
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("server: request body exceeds %d bytes", mbe.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -137,12 +177,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, st)
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrNotReady):
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrDraining):
 		// Deliberately no Retry-After: see Handler's doc comment.
 		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrOverCap):
+		writeError(w, http.StatusUnprocessableEntity, err)
+	case errors.Is(err, ErrJournal):
+		// The job was accepted in memory but not made durable; the client
+		// must treat the submission as unacknowledged and retry with the
+		// same idempotency key.
+		writeError(w, http.StatusInternalServerError, err)
 	default:
 		writeError(w, http.StatusBadRequest, err)
 	}
@@ -211,13 +258,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
 }
 
+// handleHealth is pure liveness: as long as the process can serve this
+// request it answers 200, even while draining — restarting a daemon
+// because it is shutting down cleanly would be counterproductive.
+// Traffic-steering decisions belong to /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "uptime": time.Duration(s.MetricsSnapshot().UptimeSeconds * float64(time.Second)).String()})
+}
+
+// handleReady is readiness: 503 while the server is replaying its journal
+// or draining, so load balancers shed traffic to peers during recovery
+// and shutdown windows.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
+	ready := s.ready && !s.draining
 	draining := s.draining
 	s.mu.Unlock()
-	if draining {
-		writeError(w, http.StatusServiceUnavailable, ErrDraining)
+	if !ready {
+		err := ErrNotReady
+		if draining {
+			err = ErrDraining
+		}
+		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "uptime": time.Duration(s.MetricsSnapshot().UptimeSeconds * float64(time.Second)).String()})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }

@@ -51,6 +51,12 @@ type Request struct {
 	// TimeoutMS overrides the server's default per-job deadline in
 	// milliseconds; negative disables the deadline for this job.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// IdempotencyKey makes resubmission safe: two submissions carrying the
+	// same non-empty key return the same job, so a client that lost the
+	// 202 to a crash or timeout can retry without duplicating work. Keys
+	// survive restarts when the server runs with a journal.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 func (r *Request) validate() error {
@@ -138,6 +144,17 @@ var (
 	ErrDraining = errors.New("server: draining, not accepting jobs")
 	// ErrNotFound reports an unknown job ID.
 	ErrNotFound = errors.New("server: no such job")
+	// ErrOverCap rejects a submission whose netlist (or generator
+	// parameters) exceed the server's configured size caps; HTTP maps it
+	// to 422.
+	ErrOverCap = errors.New("server: netlist exceeds configured caps")
+	// ErrNotReady rejects submissions while the server is still replaying
+	// its journal; HTTP maps it to 503 with a short Retry-After.
+	ErrNotReady = errors.New("server: not ready (journal replay in progress)")
+	// ErrJournal wraps a failure to make an accepted job durable. The job
+	// still runs, but the client must treat the submission as unacknowledged
+	// and retry with the same idempotency key.
+	ErrJournal = errors.New("server: journal append failed")
 )
 
 // isCtxErr reports whether err is (or wraps) a context cancellation or
@@ -159,7 +176,13 @@ type Status struct {
 	Error string `json:"error,omitempty"`
 	// Partial marks a canceled/deadlined job that still produced a
 	// partial-progress result (see Result).
-	Partial    bool       `json:"partial,omitempty"`
+	Partial bool `json:"partial,omitempty"`
+	// Deduped marks a status returned for a resubmission that matched an
+	// existing job's idempotency key (no new job was created).
+	Deduped bool `json:"deduped,omitempty"`
+	// Resumed marks a job that was re-enqueued from the journal after a
+	// restart (for ATPG jobs, possibly continuing from a checkpoint).
+	Resumed    bool       `json:"resumed,omitempty"`
 	Submitted  time.Time  `json:"submitted"`
 	Started    *time.Time `json:"started,omitempty"`
 	Finished   *time.Time `json:"finished,omitempty"`
@@ -219,6 +242,12 @@ type job struct {
 	req    Request
 	ctx    context.Context
 	cancel context.CancelFunc
+	// key is the request's idempotency key; resumed/resumeCkpt are set
+	// during journal replay. All three are written once before the job
+	// becomes visible to other goroutines and read-only afterwards.
+	key        string
+	resumed    bool
+	resumeCkpt []byte
 
 	state     State      // guarded by mu
 	attempts  int        // guarded by mu
@@ -238,6 +267,7 @@ func (j *job) statusLocked() *Status {
 		State:     j.state,
 		Attempts:  j.attempts,
 		Partial:   j.partial,
+		Resumed:   j.resumed,
 		Submitted: j.submitted,
 		Started:   j.started,
 		Finished:  j.finished,

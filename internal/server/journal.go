@@ -1,0 +1,262 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// This file is the server's side of the durable job journal: the payload
+// schemas written into journal.Record.Data, the replay that folds a
+// record stream back into job state after a restart, and the live-record
+// snapshot used for compaction. The journal package owns framing and
+// durability; this file owns meaning.
+//
+// Replay is last-wins per job and tolerates records arriving slightly out
+// of submission order (a worker's OpStarted can beat the submitter's
+// OpSubmitted into the log — appends from different goroutines are not
+// globally ordered by job lifecycle). A job whose OpSubmitted record
+// never became durable was never acknowledged to a client: if it also has
+// no terminal record it is dropped on replay, which is exactly the
+// at-most-once contract a 202 promises.
+
+// submittedRec is the OpSubmitted payload: everything needed to re-run
+// the job after a crash.
+type submittedRec struct {
+	Seq       uint64    `json:"seq"`
+	Key       string    `json:"key,omitempty"`
+	Submitted time.Time `json:"submitted"`
+	Req       Request   `json:"req"`
+}
+
+// attemptRec is the OpAttempt payload.
+type attemptRec struct {
+	Attempt int `json:"attempt"`
+}
+
+// terminalRec is the payload of OpDone / OpFailed / OpCanceled.
+type terminalRec struct {
+	State    State     `json:"state"`
+	Error    string    `json:"error,omitempty"`
+	Partial  bool      `json:"partial,omitempty"`
+	Finished time.Time `json:"finished"`
+	Result   *Result   `json:"result,omitempty"`
+}
+
+// replayJob accumulates one job's records during replay.
+type replayJob struct {
+	id        string
+	seq       uint64
+	key       string
+	submitted time.Time
+	hasSubmit bool
+	req       Request
+	attempts  int
+	terminal  *terminalRec
+	// checkpoint holds the latest OpCheckpoint payload (last wins).
+	checkpoint []byte
+}
+
+// replayRecords folds a replayed record stream into per-job state,
+// returned in seq order (orphans — jobs with no durable OpSubmitted —
+// sort by first appearance after all known seqs). A record that fails to
+// decode is corruption the CRC did not catch semantically; replay fails
+// loudly rather than guessing.
+func replayRecords(recs []journal.Record) ([]*replayJob, error) {
+	byID := make(map[string]*replayJob)
+	var order []string
+	get := func(id string) *replayJob {
+		j, ok := byID[id]
+		if !ok {
+			j = &replayJob{id: id}
+			byID[id] = j
+			order = append(order, id)
+		}
+		return j
+	}
+	for i, rec := range recs {
+		j := get(rec.ID)
+		switch rec.Op {
+		case journal.OpSubmitted:
+			var sr submittedRec
+			if err := json.Unmarshal(rec.Data, &sr); err != nil {
+				return nil, fmt.Errorf("server: journal record %d (%s %s): %w", i, rec.Op, rec.ID, err)
+			}
+			j.seq, j.key, j.submitted, j.req = sr.Seq, sr.Key, sr.Submitted, sr.Req
+			j.hasSubmit = true
+		case journal.OpStarted:
+			// Advisory; attempts carry the information that matters.
+		case journal.OpAttempt:
+			var ar attemptRec
+			if err := json.Unmarshal(rec.Data, &ar); err != nil {
+				return nil, fmt.Errorf("server: journal record %d (%s %s): %w", i, rec.Op, rec.ID, err)
+			}
+			if ar.Attempt+1 > j.attempts {
+				j.attempts = ar.Attempt + 1
+			}
+		case journal.OpCheckpoint:
+			j.checkpoint = rec.Data
+		case journal.OpDone, journal.OpFailed, journal.OpCanceled:
+			var tr terminalRec
+			if err := json.Unmarshal(rec.Data, &tr); err != nil {
+				return nil, fmt.Errorf("server: journal record %d (%s %s): %w", i, rec.Op, rec.ID, err)
+			}
+			j.terminal = &tr
+		default:
+			return nil, fmt.Errorf("server: journal record %d: unknown op %s", i, rec.Op)
+		}
+	}
+	jobs := make([]*replayJob, 0, len(order))
+	for _, id := range order {
+		jobs = append(jobs, byID[id])
+	}
+	sort.SliceStable(jobs, func(a, b int) bool { return jobs[a].seq < jobs[b].seq })
+	return jobs, nil
+}
+
+// journalSubmit makes a freshly accepted job durable. Submit returns 202
+// only after this fsyncs, so an acknowledged job is guaranteed to survive
+// a crash.
+func (s *Server) journalSubmit(j *job) error {
+	if s.journal == nil {
+		return nil
+	}
+	data, err := json.Marshal(submittedRec{Seq: j.seq, Key: j.key, Submitted: j.submitted, Req: j.req})
+	if err != nil {
+		return err
+	}
+	return s.journal.AppendSync(journal.Record{Op: journal.OpSubmitted, ID: j.id, Data: data})
+}
+
+// journalAdvisory appends a non-critical lifecycle record (started /
+// attempt). Loss in a crash is harmless — replay re-runs the job anyway —
+// so these ride the buffered path and piggyback on the next fsync.
+func (s *Server) journalAdvisory(op journal.Op, id string, data []byte) {
+	if s.journal == nil {
+		return
+	}
+	s.journal.Append(journal.Record{Op: op, ID: id, Data: data}) //nolint:errcheck // advisory: a failed append degrades recovery granularity, never correctness
+}
+
+// journalAttempt records the start of one run attempt (advisory).
+func (s *Server) journalAttempt(id string, attempt int) {
+	if s.journal == nil {
+		return
+	}
+	data, err := json.Marshal(attemptRec{Attempt: attempt})
+	if err != nil {
+		return
+	}
+	s.journalAdvisory(journal.OpAttempt, id, data)
+}
+
+// journalTerminal makes a job's terminal state durable so a restart never
+// re-runs a finished job.
+func (s *Server) journalTerminal(j *job, state State, errText string, partial bool, finished time.Time, res *Result) {
+	if s.journal == nil {
+		return
+	}
+	var op journal.Op
+	switch state {
+	case StateDone:
+		op = journal.OpDone
+	case StateFailed:
+		op = journal.OpFailed
+	default:
+		op = journal.OpCanceled
+	}
+	data, err := json.Marshal(terminalRec{State: state, Error: errText, Partial: partial, Finished: finished, Result: res})
+	if err != nil {
+		return
+	}
+	// A failed append here means the terminal state may replay as
+	// interrupted after a crash and the job re-runs — deterministic
+	// engines make that safe, so availability wins over failing the job.
+	s.journal.AppendSync(journal.Record{Op: op, ID: j.id, Data: data}) //nolint:errcheck
+}
+
+// liveRecords snapshots the minimal record set that reproduces the
+// current job table: one OpSubmitted per job, the terminal record for
+// finished jobs, and the latest checkpoint for interrupted ones. Used by
+// compaction at startup and after a clean drain — never concurrently with
+// appends (see Journal.Compact).
+func (s *Server) liveRecords() ([]journal.Record, error) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].seq < jobs[b].seq })
+	type snap struct {
+		sub  submittedRec
+		term *terminalRec
+		ckpt []byte
+		id   string
+	}
+	snaps := make([]snap, 0, len(jobs))
+	for _, j := range jobs {
+		sn := snap{
+			id:  j.id,
+			sub: submittedRec{Seq: j.seq, Key: j.key, Submitted: j.submitted, Req: j.req},
+		}
+		if j.state.Terminal() {
+			tr := &terminalRec{State: j.state, Partial: j.partial, Result: j.result}
+			if j.err != nil {
+				tr.Error = j.err.Error()
+			}
+			if j.finished != nil {
+				tr.Finished = *j.finished
+			}
+			sn.term = tr
+		} else {
+			sn.ckpt = j.resumeCkpt
+		}
+		snaps = append(snaps, sn)
+	}
+	s.mu.Unlock()
+
+	var recs []journal.Record
+	for _, sn := range snaps {
+		data, err := json.Marshal(sn.sub)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, journal.Record{Op: journal.OpSubmitted, ID: sn.id, Data: data})
+		if sn.term != nil {
+			tdata, err := json.Marshal(sn.term)
+			if err != nil {
+				return nil, err
+			}
+			op := journal.OpCanceled
+			switch sn.term.State {
+			case StateDone:
+				op = journal.OpDone
+			case StateFailed:
+				op = journal.OpFailed
+			}
+			recs = append(recs, journal.Record{Op: op, ID: sn.id, Data: tdata})
+		} else if len(sn.ckpt) > 0 {
+			recs = append(recs, journal.Record{Op: journal.OpCheckpoint, ID: sn.id, Data: sn.ckpt})
+		}
+	}
+	return recs, nil
+}
+
+// closeJournal compacts (when the drain was clean) and closes the
+// journal, once.
+func (s *Server) closeJournal(compact bool) {
+	if s.journal == nil {
+		return
+	}
+	s.journalOnce.Do(func() {
+		if compact {
+			if live, err := s.liveRecords(); err == nil {
+				s.journal.Compact(live) //nolint:errcheck // best-effort: an uncompacted journal replays identically
+			}
+		}
+		s.journal.Close() //nolint:errcheck // nothing actionable at shutdown
+	})
+}

@@ -14,8 +14,10 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/benchprofile"
 	"repro/internal/experiments"
 	"repro/internal/faultsim"
+	"repro/internal/journal"
 	"repro/internal/lru"
 	"repro/internal/netlist"
 	"repro/internal/prng"
@@ -86,6 +89,28 @@ type Config struct {
 	MaxCached int
 	// Hook is the chaos-test fault-injection point; nil in production.
 	Hook Hook
+
+	// JournalDir enables the durable job journal: every acknowledged
+	// submission is fsynced there before the 202, and New replays the
+	// directory on startup, re-enqueueing interrupted jobs. Empty disables
+	// journaling (the pre-journal in-memory behaviour, bit-identical
+	// results).
+	JournalDir string
+	// JournalOptions tunes the underlying write-ahead log (tests set
+	// NoSync to keep fsync out of hot loops).
+	JournalOptions journal.Options
+	// CheckpointEvery is the ATPG checkpoint cadence in committed faults
+	// (0 = 25). Only meaningful with a journal.
+	CheckpointEvery int
+	// MaxBodyBytes caps POST /jobs request bodies (0 = 8 MiB); larger
+	// bodies get a typed 413.
+	MaxBodyBytes int64
+	// MaxGates / MaxInputs / MaxLevels cap client-supplied netlists,
+	// enforced at admission after parse and before any table build
+	// (0 = unlimited). Violations return ErrOverCap (HTTP 422).
+	MaxGates  int
+	MaxInputs int
+	MaxLevels int
 }
 
 func (c *Config) fill() {
@@ -104,6 +129,12 @@ func (c *Config) fill() {
 	if c.MaxCores <= 0 {
 		c.MaxCores = 128
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 25
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
 }
 
 // Server is the stateskipd job service. Construct with New, serve its
@@ -117,6 +148,12 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
+	// journal is the durable job log (nil when Config.JournalDir is
+	// empty). Set once in New; safe to read without the lock. journalOnce
+	// guards the compact-and-close at shutdown.
+	journal     *journal.Journal
+	journalOnce sync.Once
+
 	mu   sync.Mutex
 	jobs map[string]*job // guarded by mu
 	// queue carries accepted jobs to the workers. Channel operations are
@@ -124,7 +161,9 @@ type Server struct {
 	// Shutdown happen under mu so a Submit can never race the close.
 	queue    chan *job
 	draining bool                                 // guarded by mu
+	ready    bool                                 // guarded by mu; false until journal replay finishes
 	nextSeq  uint64                               // guarded by mu
+	idem     map[string]string                    // guarded by mu; idempotency key → job ID
 	cores    *lru.Cache[uint64, *netlist.Netlist] // guarded by mu; content-addressed by netlist.Hash
 
 	wg      sync.WaitGroup
@@ -134,12 +173,18 @@ type Server struct {
 		submitted, rejected    atomic.Int64
 		done, failed, canceled atomic.Int64
 		retries, panics        atomic.Int64
+		replayed, checkpoints  atomic.Int64
+		resumed, shed          atomic.Int64
 	}
 }
 
-// New starts a Server with cfg.JobWorkers worker goroutines. The caller
-// must eventually call Shutdown (or Close) to stop them.
-func New(cfg Config) *Server {
+// New starts a Server with cfg.JobWorkers worker goroutines. When
+// cfg.JournalDir is set it opens (creating if needed) the durable job
+// journal there, replays it, re-enqueues every job that was acknowledged
+// but not yet terminal when the previous process died, and compacts the
+// log — then starts accepting work. The caller must eventually call
+// Shutdown (or Close) to stop the workers and close the journal.
+func New(cfg Config) (*Server, error) {
 	cfg.fill()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -148,7 +193,7 @@ func New(cfg Config) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*job),
-		queue:      make(chan *job, cfg.QueueSize),
+		idem:       make(map[string]string),
 		cores:      lru.New[uint64, *netlist.Netlist](cfg.MaxCores),
 		started:    cfg.Clock(),
 	}
@@ -157,29 +202,178 @@ func New(cfg Config) *Server {
 		s.session.SetMaxCached(cfg.MaxCached)
 		s.session.EncTables.SetMax(cfg.MaxCached)
 	}
+
+	var requeue []*job
+	if cfg.JournalDir != "" {
+		jn, recs, err := journal.Open(cfg.JournalDir, cfg.JournalOptions)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("server: opening journal: %w", err)
+		}
+		s.journal = jn
+		requeue, err = s.replay(recs)
+		if err != nil {
+			jn.Close() //nolint:errcheck // the replay error is the one that matters
+			cancel()
+			return nil, err
+		}
+	}
+
+	// The queue must hold every interrupted job on top of the configured
+	// backlog, or a journal fuller than QueueSize would deadlock startup.
+	s.mu.Lock()
+	s.queue = make(chan *job, cfg.QueueSize+len(requeue))
+	for _, j := range requeue {
+		s.queue <- j
+	}
+	s.ready = true
+	s.mu.Unlock()
+
+	if s.journal != nil {
+		// Startup is the one moment compaction is trivially safe: no
+		// workers are running, so no appends race the rewrite.
+		live, err := s.liveRecords()
+		if err == nil {
+			err = s.journal.Compact(live)
+		}
+		if err != nil {
+			s.journal.Close() //nolint:errcheck
+			cancel()
+			return nil, fmt.Errorf("server: compacting journal: %w", err)
+		}
+	}
+
 	for i := 0; i < cfg.JobWorkers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
+
+// replay folds the journal's record stream back into the job table:
+// terminal jobs are restored as finished history (their results survive
+// the crash), interrupted-but-acknowledged jobs are returned for
+// re-enqueueing, and unacknowledged non-terminal records are dropped.
+func (s *Server) replay(recs []journal.Record) ([]*job, error) {
+	rjobs, err := replayRecords(recs)
+	if err != nil {
+		return nil, err
+	}
+	// No workers exist yet, but the guarded fields keep their invariant:
+	// all writes happen under mu.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var requeue []*job
+	for _, rj := range rjobs {
+		if rj.terminal == nil && !rj.hasSubmit {
+			// The client never received a 202 for this job; recreating it
+			// would violate at-most-once. Its records die with the compact.
+			continue
+		}
+		jctx, cancel := context.WithCancel(s.baseCtx)
+		j := &job{
+			id:        rj.id,
+			seq:       rj.seq,
+			req:       rj.req,
+			key:       rj.key,
+			ctx:       jctx,
+			cancel:    cancel,
+			attempts:  rj.attempts,
+			submitted: rj.submitted,
+		}
+		if rj.terminal != nil {
+			tr := rj.terminal
+			j.state = tr.State
+			j.partial = tr.Partial
+			j.result = tr.Result
+			if tr.Error != "" {
+				j.err = errors.New(tr.Error)
+			}
+			fin := tr.Finished
+			j.finished = &fin
+			cancel()
+		} else {
+			j.state = StateQueued
+			j.resumed = true
+			j.resumeCkpt = rj.checkpoint
+			requeue = append(requeue, j)
+			s.metrics.replayed.Add(1)
+		}
+		s.jobs[j.id] = j
+		if j.key != "" {
+			s.idem[j.key] = j.id
+		}
+		if rj.seq > s.nextSeq {
+			s.nextSeq = rj.seq
+		}
+	}
+	return requeue, nil
+}
+
+// Journal exposes the underlying journal (nil when disabled). The crash
+// tests use it to sever the log underneath a live server, simulating a
+// dying disk or a SIGKILL between append and ack.
+func (s *Server) Journal() *journal.Journal { return s.journal }
 
 // Session exposes the shared session for tests and metrics.
 func (s *Server) Session() *experiments.Session { return s.session }
 
 func (s *Server) now() time.Time { return s.cfg.Clock() }
 
-// Submit validates and enqueues a job, returning its initial status.
-// A full queue returns ErrQueueFull; a draining server ErrDraining.
+// Submit validates a request, enforces the untrusted-input caps, and
+// enqueues a job, returning its initial status. A full queue returns
+// ErrQueueFull; a draining server ErrDraining; a replaying one
+// ErrNotReady. A request whose IdempotencyKey matches an existing job
+// returns that job's status with Deduped set instead of creating a new
+// one. With a journal, the 202 contract holds: a nil error means the
+// submission is durable; ErrJournal means the job was accepted in memory
+// but durability failed, and the client should retry with the same key.
 func (s *Server) Submit(req Request) (*Status, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
+	core, err := s.admitCore(&req)
+	if err != nil {
+		s.metrics.rejected.Add(1)
+		return nil, err
+	}
+	var coreHash uint64
+	if core != nil {
+		coreHash = core.Hash()
+	}
 	s.mu.Lock()
+	if !s.ready {
+		s.mu.Unlock()
+		s.metrics.rejected.Add(1)
+		s.metrics.shed.Add(1)
+		return nil, ErrNotReady
+	}
 	if s.draining {
 		s.mu.Unlock()
 		s.metrics.rejected.Add(1)
+		s.metrics.shed.Add(1)
 		return nil, ErrDraining
+	}
+	if req.IdempotencyKey != "" {
+		if id, ok := s.idem[req.IdempotencyKey]; ok {
+			if j, ok := s.jobs[id]; ok {
+				st := j.statusLocked()
+				st.Deduped = true
+				s.mu.Unlock()
+				return st, nil
+			}
+		}
+	}
+	if len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		s.metrics.rejected.Add(1)
+		s.metrics.shed.Add(1)
+		return nil, ErrQueueFull
+	}
+	if core != nil {
+		// Seed the content-addressed cache with the already-parsed core so
+		// the worker never re-parses what admission just validated.
+		s.cores.Add(coreHash, core)
 	}
 	s.nextSeq++
 	jctx, cancel := context.WithCancel(s.baseCtx)
@@ -187,26 +381,68 @@ func (s *Server) Submit(req Request) (*Status, error) {
 		id:        fmt.Sprintf("j%06d", s.nextSeq),
 		seq:       s.nextSeq,
 		req:       req,
+		key:       req.IdempotencyKey,
 		ctx:       jctx,
 		cancel:    cancel,
 		state:     StateQueued,
 		submitted: s.now(),
 	}
-	select {
-	case s.queue <- j:
-		s.jobs[j.id] = j
-		st := j.statusLocked()
-		st.QueueDepth = len(s.queue)
-		s.mu.Unlock()
-		s.metrics.submitted.Add(1)
-		return st, nil
-	default:
-		s.nextSeq-- // unused ID; keep the sequence dense
-		s.mu.Unlock()
-		cancel()
-		s.metrics.rejected.Add(1)
-		return nil, ErrQueueFull
+	s.jobs[j.id] = j
+	if j.key != "" {
+		s.idem[j.key] = j.id
 	}
+	// Cannot block: len < cap was verified above and sends only happen
+	// under mu.
+	s.queue <- j
+	st := j.statusLocked()
+	st.QueueDepth = len(s.queue)
+	s.mu.Unlock()
+	s.metrics.submitted.Add(1)
+	if err := s.journalSubmit(j); err != nil {
+		return st, fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	return st, nil
+}
+
+// admitCore is the admission-control gate for client-supplied circuits:
+// parse (typed .bench errors surface as 400s), then enforce the size caps
+// before any table build can amplify the input. Generated-core requests
+// are cap-checked on their parameters without generating. Returns the
+// parsed netlist for bench requests so Submit can seed the core cache.
+func (s *Server) admitCore(req *Request) (*netlist.Netlist, error) {
+	switch req.Kind {
+	case KindATPG, KindCoverage:
+	default:
+		return nil, nil // encode jobs name baked-in benchmark profiles
+	}
+	if req.Bench == "" {
+		return nil, s.checkCaps(req.Gates, req.Inputs, 0)
+	}
+	core, err := netlist.ReadBench(strings.NewReader(req.Bench))
+	if err != nil {
+		return nil, err
+	}
+	st, err := core.Summary()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.checkCaps(st.Gates, st.Inputs, st.Levels); err != nil {
+		return nil, err
+	}
+	return core, nil
+}
+
+func (s *Server) checkCaps(gates, inputs, levels int) error {
+	if s.cfg.MaxGates > 0 && gates > s.cfg.MaxGates {
+		return fmt.Errorf("%w: %d gates > %d", ErrOverCap, gates, s.cfg.MaxGates)
+	}
+	if s.cfg.MaxInputs > 0 && inputs > s.cfg.MaxInputs {
+		return fmt.Errorf("%w: %d inputs > %d", ErrOverCap, inputs, s.cfg.MaxInputs)
+	}
+	if s.cfg.MaxLevels > 0 && levels > s.cfg.MaxLevels {
+		return fmt.Errorf("%w: %d levels > %d", ErrOverCap, levels, s.cfg.MaxLevels)
+	}
+	return nil
 }
 
 // Status snapshots one job.
@@ -244,15 +480,26 @@ func (s *Server) Cancel(id string) (*Status, error) {
 		s.mu.Unlock()
 		return nil, ErrNotFound
 	}
+	canceledNow := false
 	if j.state == StateQueued {
 		now := s.now()
 		j.state = StateCanceled
 		j.err = fmt.Errorf("%w: canceled while queued", ErrCanceled)
 		j.finished = &now
 		s.metrics.canceled.Add(1)
+		canceledNow = true
 	}
 	st := j.statusLocked()
+	var fin time.Time
+	if j.finished != nil {
+		fin = *j.finished
+	}
 	s.mu.Unlock()
+	if canceledNow {
+		// Durably record the queued-job cancel so a restart replays it as
+		// terminal instead of resurrecting and re-running it.
+		s.journalTerminal(j, StateCanceled, st.Error, false, fin, nil)
+	}
 	j.cancel()
 	return st, nil
 }
@@ -292,13 +539,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Clean drain: every job is terminal, so the journal compacts to
+		// its minimal history before closing.
+		s.closeJournal(true)
 		return nil
 	case <-ctx.Done():
 		// Drain deadline passed: hard-cancel everything still in flight.
 		// The engines poll their contexts cooperatively, so the workers
-		// exit within microseconds of this.
+		// exit within microseconds of this. No compaction — interrupted
+		// jobs keep their checkpoints for the next replay.
 		s.baseCancel()
 		<-done
+		s.closeJournal(false)
 		return ctx.Err()
 	}
 }
@@ -335,7 +587,11 @@ func (s *Server) runJob(j *job) {
 	now := s.now()
 	j.state = StateRunning
 	j.started = &now
+	// Attempts survive restarts: a replayed job resumes its count rather
+	// than restarting at 1.
+	baseAttempts := j.attempts
 	s.mu.Unlock()
+	s.journalAdvisory(journal.OpStarted, j.id, nil)
 
 	ctx := j.ctx
 	timeout := s.cfg.DefaultTimeout
@@ -358,8 +614,9 @@ func (s *Server) runJob(j *job) {
 	var err error
 	for attempt := 0; ; attempt++ {
 		s.mu.Lock()
-		j.attempts = attempt + 1
+		j.attempts = baseAttempts + attempt + 1
 		s.mu.Unlock()
+		s.journalAttempt(j.id, baseAttempts+attempt)
 		res, err = s.attempt(ctx, j, attempt)
 		if err == nil || ctx.Err() != nil || attempt >= s.cfg.MaxRetries {
 			break
@@ -398,7 +655,14 @@ func (s *Server) finalize(j *job, res *Result, err error) {
 		j.err = err
 		s.metrics.failed.Add(1)
 	}
+	state := j.state
+	partial := j.partial
+	var errText string
+	if j.err != nil {
+		errText = j.err.Error()
+	}
 	s.mu.Unlock()
+	s.journalTerminal(j, state, errText, partial, now, res)
 	j.cancel()
 	s.hook(context.Background(), j.id, StageFinish) //nolint:errcheck // finish hooks are observational
 }
@@ -419,7 +683,7 @@ func (s *Server) attempt(ctx context.Context, j *job, attempt int) (res *Result,
 	case KindEncode:
 		return s.runEncode(ctx, &j.req)
 	case KindATPG:
-		return s.runATPG(ctx, &j.req)
+		return s.runATPG(ctx, j)
 	case KindCoverage:
 		return s.runCoverage(ctx, &j.req)
 	}
@@ -473,7 +737,8 @@ func (s *Server) coreFor(req *Request) (*netlist.Netlist, error) {
 	return core, nil
 }
 
-func (s *Server) runATPG(ctx context.Context, req *Request) (*Result, error) {
+func (s *Server) runATPG(ctx context.Context, j *job) (*Result, error) {
+	req := &j.req
 	strategy, ok := atpg.ParseBacktrace(req.Backtrace)
 	if !ok {
 		return nil, fmt.Errorf("server: unknown backtrace %q (want scoap or multi)", req.Backtrace)
@@ -486,10 +751,38 @@ func (s *Server) runATPG(ctx context.Context, req *Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	u, res, err := s.session.ATPGOptsCtx(ctx, core, atpg.Options{
+	opt := atpg.Options{
 		FaultDrop: true, FillSeed: req.Seed,
 		BacktrackLimit: req.Backtrack, Backtrace: strategy,
-	})
+	}
+	if s.journal != nil {
+		// Periodic checkpoints ride the buffered journal path; losing the
+		// latest one in a crash only costs re-deriving a few faults.
+		id := j.id
+		opt.CheckpointEvery = s.cfg.CheckpointEvery
+		opt.Checkpoint = func(cp *atpg.Checkpoint) {
+			b, err := cp.MarshalBinary()
+			if err != nil {
+				return
+			}
+			if s.journal.Append(journal.Record{Op: journal.OpCheckpoint, ID: id, Data: b}) == nil {
+				s.metrics.checkpoints.Add(1)
+			}
+		}
+	}
+	if len(j.resumeCkpt) > 0 {
+		// Resume from the replayed checkpoint when it provably belongs to
+		// this circuit; anything suspect falls back to a fresh run — the
+		// engines are deterministic, so the result is identical either way,
+		// just slower.
+		var cp atpg.Checkpoint
+		if err := cp.UnmarshalBinary(j.resumeCkpt); err == nil &&
+			cp.NetHash == core.Hash() && cp.NumInputs == len(core.Inputs) {
+			opt.Resume = &cp
+			s.metrics.resumed.Add(1)
+		}
+	}
+	u, res, err := s.session.ATPGOptsCtx(ctx, core, opt)
 	if err != nil {
 		if res != nil { // partial progress from a cancelled/deadlined run
 			return &Result{ATPG: atpgResult(st, u, res)}, err

@@ -16,6 +16,17 @@ import (
 	"repro/internal/prng"
 )
 
+// newTest constructs a Server, failing the test on a startup error
+// (journal-less configs never produce one).
+func newTest(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 // waitState polls a job until it reaches one of the wanted states.
 func waitState(t *testing.T, s *Server, id string, states ...State) *Status {
 	t.Helper()
@@ -67,7 +78,7 @@ func (r *recordSleeper) recorded() []time.Duration {
 }
 
 func TestEncodeJobLifecycle(t *testing.T) {
-	s := New(Config{JobWorkers: 1})
+	s := newTest(t, Config{JobWorkers: 1})
 	defer s.Close()
 	st, err := s.Submit(Request{Kind: KindEncode, Circuit: "s13207", L: 8, S: 4, K: 10})
 	if err != nil {
@@ -96,7 +107,7 @@ func TestEncodeJobLifecycle(t *testing.T) {
 }
 
 func TestHTTPEndToEnd(t *testing.T) {
-	s := New(Config{JobWorkers: 2})
+	s := newTest(t, Config{JobWorkers: 2})
 	defer s.Close()
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -162,7 +173,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 // contract.
 func TestQueueBackpressure(t *testing.T) {
 	release := make(chan struct{})
-	s := New(Config{
+	s := newTest(t, Config{
 		JobWorkers: 1,
 		QueueSize:  1,
 		Hook: func(ctx context.Context, id string, stage Stage) error {
@@ -219,7 +230,7 @@ func TestQueueBackpressure(t *testing.T) {
 // advertise a wait.
 func TestDrainingSubmitNoRetryAfter(t *testing.T) {
 	release := make(chan struct{})
-	s := New(Config{
+	s := newTest(t, Config{
 		JobWorkers: 1,
 		Hook: func(ctx context.Context, id string, stage Stage) error {
 			if stage != StageAttempt {
@@ -290,7 +301,7 @@ func TestDrainingSubmitNoRetryAfter(t *testing.T) {
 // typed ErrCanceled, partial progress, and terminal state within the
 // 100ms cancellation budget.
 func TestCancelRunningJob(t *testing.T) {
-	s := New(Config{JobWorkers: 1})
+	s := newTest(t, Config{JobWorkers: 1})
 	defer s.Close()
 	st, err := s.Submit(Request{Kind: KindATPG, Gates: 4000, Inputs: 120, Outputs: 60})
 	if err != nil {
@@ -329,7 +340,7 @@ func TestCancelRunningJob(t *testing.T) {
 // TestJobDeadline gives a long job a 10ms deadline and expects the typed
 // ErrDeadline within the latency budget.
 func TestJobDeadline(t *testing.T) {
-	s := New(Config{JobWorkers: 1})
+	s := newTest(t, Config{JobWorkers: 1})
 	defer s.Close()
 	st, err := s.Submit(Request{Kind: KindATPG, Gates: 4000, Inputs: 120, Outputs: 60, TimeoutMS: 10})
 	if err != nil {
@@ -356,7 +367,7 @@ func TestRetryBackoffScheduleExact(t *testing.T) {
 	sleeper := &recordSleeper{}
 	backoff := Backoff{Base: 100 * time.Millisecond, Cap: time.Second, Factor: 2, Jitter: 0.5}
 	const retrySeed = 7
-	s := New(Config{
+	s := newTest(t, Config{
 		JobWorkers: 1,
 		MaxRetries: 3,
 		Backoff:    backoff,
@@ -402,7 +413,7 @@ func TestRetryBackoffScheduleExact(t *testing.T) {
 // TestGracefulShutdownDrains submits work, shuts down with a generous
 // deadline, and expects every job to finish normally.
 func TestGracefulShutdownDrains(t *testing.T) {
-	s := New(Config{JobWorkers: 2})
+	s := newTest(t, Config{JobWorkers: 2})
 	var ids []string
 	for _, L := range []int{4, 6, 8} {
 		st, err := s.Submit(Request{Kind: KindEncode, L: L})
@@ -433,7 +444,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 // TestShutdownDeadlineCancelsStragglers stalls a job forever and expects
 // the drain deadline to force-cancel it.
 func TestShutdownDeadlineCancelsStragglers(t *testing.T) {
-	s := New(Config{
+	s := newTest(t, Config{
 		JobWorkers: 1,
 		Hook: func(ctx context.Context, id string, stage Stage) error {
 			if stage != StageAttempt {
@@ -466,7 +477,7 @@ func TestShutdownDeadlineCancelsStragglers(t *testing.T) {
 // the content-addressed core cache let the session levelize the netlist
 // once: same hash → same *Netlist → one Tables build.
 func TestCoreCacheSharesTables(t *testing.T) {
-	s := New(Config{JobWorkers: 1})
+	s := newTest(t, Config{JobWorkers: 1})
 	defer s.Close()
 	for i := 0; i < 2; i++ {
 		st, err := s.Submit(Request{Kind: KindATPG, Gates: 260})
@@ -488,7 +499,7 @@ func TestCoreCacheSharesTables(t *testing.T) {
 // TestClockInjection pins job timestamps to an injected clock.
 func TestClockInjection(t *testing.T) {
 	fixed := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
-	s := New(Config{JobWorkers: 1, Clock: func() time.Time { return fixed }})
+	s := newTest(t, Config{JobWorkers: 1, Clock: func() time.Time { return fixed }})
 	defer s.Close()
 	st, err := s.Submit(Request{Kind: KindEncode, L: 4})
 	if err != nil {
