@@ -14,7 +14,10 @@
 // the default CI scale runs in seconds. -workers bounds the goroutines the
 // experiment drivers, the ATPG pipeline and the fault simulator fan out
 // across (0, the default, uses every CPU; results are identical for any
-// value). -cpuprofile/-memprofile write runtime/pprof profiles of any
+// value). -lanewords widens the fault simulator to that many 64-bit words
+// of pattern lanes per sweep — 64×N patterns per batch; results are
+// bit-identical for any width. -cpuprofile/-memprofile write
+// runtime/pprof profiles of any
 // subcommand, so the ATPG and encoder hot paths can be measured directly:
 //
 //	stateskip -cpuprofile atpg.pprof atpg -gates 4000
@@ -77,6 +80,7 @@ func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("stateskip", flag.ContinueOnError)
 	scaleFlag := fs.String("scale", scaleFromEnv(), "experiment scale: ci or paper")
 	workersFlag := fs.Int("workers", 0, "worker goroutines for experiments, ATPG and fault simulation (0 = all CPUs)")
+	laneFlag := fs.Int("lanewords", 0, "fault-simulator lane words: 64×N patterns per sweep (0 = 1 word; results identical for any width)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the subcommand to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file when the subcommand finishes")
 	if err := fs.Parse(args); err != nil {
@@ -113,13 +117,13 @@ func run(ctx context.Context, args []string) error {
 	cmd, rest := fs.Arg(0), fs.Args()[1:]
 	switch cmd {
 	case "table1", "table2", "table3", "table4", "fig4", "hw", "soc", "all":
-		return runExperiments(ctx, scale, *workersFlag, cmd)
+		return runExperiments(ctx, scale, *workersFlag, *laneFlag, cmd)
 	case "gen":
 		return runGen(scale, rest)
 	case "encode":
 		return runEncode(ctx, scale, rest)
 	case "atpg":
-		return runATPG(ctx, scale, *workersFlag, rest)
+		return runATPG(ctx, scale, *workersFlag, *laneFlag, rest)
 	case "verilog":
 		return runVerilog(rest)
 	default:
@@ -146,9 +150,10 @@ func scaleFromEnv() string {
 	return "ci"
 }
 
-func runExperiments(ctx context.Context, scale benchprofile.Scale, workers int, which string) error {
+func runExperiments(ctx context.Context, scale benchprofile.Scale, workers, laneWords int, which string) error {
 	s := experiments.NewSession(scale)
 	s.Workers = workers
+	s.LaneWords = laneWords
 	s.Ctx = ctx // ^C aborts the drivers mid-sweep (see main)
 	start := time.Now()
 	do := func(name string, f func() error) error {
@@ -313,7 +318,7 @@ func runEncode(ctx context.Context, scale benchprofile.Scale, args []string) err
 
 // runATPG generates test cubes for a gate-level core: either a .bench
 // netlist supplied with -bench, or a deterministic random circuit.
-func runATPG(ctx context.Context, scale benchprofile.Scale, workers int, args []string) error {
+func runATPG(ctx context.Context, scale benchprofile.Scale, workers, laneWords int, args []string) error {
 	fs := flag.NewFlagSet("atpg", flag.ContinueOnError)
 	bench := fs.String("bench", "", ".bench netlist (default: generated random core)")
 	inputs := fs.Int("inputs", 80, "inputs of the generated core")
@@ -358,6 +363,7 @@ func runATPG(ctx context.Context, scale benchprofile.Scale, workers int, args []
 		st.Inputs, st.Outputs, st.Gates, st.Levels)
 	s := experiments.NewSession(scale)
 	s.Workers = workers
+	s.LaneWords = laneWords
 	writeCubes := func(cs *cube.Set) error {
 		w := os.Stdout
 		if *out != "" {

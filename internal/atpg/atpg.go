@@ -873,6 +873,16 @@ type Options struct {
 	// the emitted cubes, patterns and counters are bit-identical for any
 	// value.
 	Workers int
+	// LaneWords widens every fault-drop simulator to that many 64-bit
+	// pattern words (faultsim.Options.LaneWords), so committed patterns
+	// accumulate into 64×LaneWords-wide batches — 256/512 at 4/8 — before
+	// each drop sweep. 0 or negative keeps the single-word engine. Cubes,
+	// patterns and every counter are bit-identical for any value: a fault
+	// reaches PODEM exactly when no earlier committed pattern detects it,
+	// regardless of sweep cadence (pending lanes are checked at each
+	// fault's commit turn), so widening only trades sweep frequency for
+	// sweep width.
+	LaneWords int
 	// Tables optionally supplies prebuilt shared tables for the universe's
 	// netlist, so repeated RunAll calls over one circuit skip rebuilding
 	// levelization, fan-out lists and SCOAP weights. When nil, RunAll
@@ -896,10 +906,11 @@ type Options struct {
 
 // RunAll generates test cubes for every fault of the universe.
 //
-// With FaultDrop on, committed patterns accumulate into 64-wide batches so
-// every DetectAll sweep over the remaining universe fills all 64 simulator
-// lanes; between sweeps each PODEM candidate is first checked against the
-// pending (not yet swept) lanes with one event-driven DetectMask. A fault
+// With FaultDrop on, committed patterns accumulate into 64×LaneWords-wide
+// batches so every sharded sweep over the remaining universe fills all the
+// simulator lanes; between sweeps each PODEM candidate is first checked
+// against the pending (not yet swept) lanes with one event-driven
+// DetectAny. A fault
 // therefore reaches PODEM exactly when no earlier committed pattern
 // detects it — the same rule as the classic sweep-after-every-pattern
 // loop, which this replaces bit for bit at a fraction of the simulation
@@ -929,20 +940,30 @@ func RunAllCtx(ctx context.Context, u *faultsim.Universe, opt Options) (*Result,
 		// deep in the engine; fail loudly instead.
 		return nil, fmt.Errorf("atpg: Options.Tables built over a different netlist (or the netlist was mutated after NewTables)")
 	}
-	workers := faultsim.Options{Workers: opt.Workers}.PoolSize(len(u.Faults))
-	sims, err := faultsim.NewSimulatorPool(u, workers)
+	simOpts := faultsim.Options{Workers: opt.Workers, LaneWords: opt.LaneWords}
+	workers := simOpts.PoolSize(len(u.Faults))
+	sims, err := faultsim.NewSimulatorPoolLanes(u, workers, simOpts.LaneWordCount())
 	if err != nil {
 		return nil, err
 	}
 	r := &runner{
-		ctx:    ctx,
-		u:      u,
-		opt:    opt,
-		tables: tables,
-		sims:   sims,
-		src:    prng.New(opt.FillSeed),
-		res:    &Result{Cubes: cube.NewSet(len(u.Net.Inputs))},
-		done:   make([]bool, len(u.Faults)),
+		ctx:      ctx,
+		u:        u,
+		opt:      opt,
+		tables:   tables,
+		sims:     sims,
+		capacity: sims[0].Capacity(),
+		src:      prng.New(opt.FillSeed),
+		res:      &Result{Cubes: cube.NewSet(len(u.Net.Inputs))},
+		done:     make([]bool, len(u.Faults)),
+	}
+	if opt.FaultDrop {
+		// Stream the drop sweeps in deterministic shards when the universe
+		// is the canonical NewUniverse enumeration (always, in practice);
+		// a custom fault list falls back to the materialized sweep.
+		if fs := faultsim.NewFaultShards(u.Net, 0); fs.Matches(u.Faults) {
+			r.shards = fs
+		}
 	}
 	if opt.Resume != nil {
 		if err := r.restore(opt.Resume); err != nil {
@@ -979,6 +1000,11 @@ type runner struct {
 	opt    Options
 	tables *Tables
 	sims   []*faultsim.Simulator // sims[0] accumulates the pending batch
+	// capacity is sims[0].Capacity(): 64×LaneWords patterns per sweep.
+	capacity int
+	// shards streams the drop sweeps when non-nil (the universe matches
+	// the canonical enumeration); nil falls back to u.Faults.
+	shards *faultsim.FaultShards
 	src    *prng.Source
 	res    *Result
 	done   []bool
@@ -1170,23 +1196,32 @@ func (r *runner) commit(fi int, c cube.Cube, status Status, backtracks int) erro
 	if err := r.sims[0].AppendPattern(pat); err != nil {
 		return err
 	}
-	if r.sims[0].PatternCount() == 64 {
+	if r.sims[0].PatternCount() == r.capacity {
 		return r.sweep()
 	}
 	return nil
 }
 
-// sweep runs the accumulated full-width batch against every remaining
-// fault, sharded across the simulator pool, and starts a fresh batch. No
-// flush is needed after the last fault: every fault has been committed or
-// dropped by then, so a final sweep could not mark anything new. A
-// cancelled sweep returns the context error; its partial done marks are
-// all genuine detections, so the partial Result stays truthful.
+// sweep runs the accumulated full-width batch (64×LaneWords patterns)
+// against every remaining fault, sharded across the simulator pool, and
+// starts a fresh batch. The universe streams through FaultShards when the
+// canonical enumeration matches (the materialized list is the fallback
+// for custom universes). No flush is needed after the last fault: every
+// fault has been committed or dropped by then, so a final sweep could not
+// mark anything new. A cancelled sweep returns the context error; its
+// partial done marks are all genuine detections, so the partial Result
+// stays truthful.
 func (r *runner) sweep() error {
 	for _, s := range r.sims[1:] {
 		s.AdoptPatterns(r.sims[0])
 	}
-	n, err := faultsim.DetectAllCtx(r.ctx, r.sims, r.u.Faults, r.done)
+	var n int
+	var err error
+	if r.shards != nil {
+		n, err = faultsim.DetectAllShardsCtx(r.ctx, r.sims, r.shards, r.done)
+	} else {
+		n, err = faultsim.DetectAllCtx(r.ctx, r.sims, r.u.Faults, r.done)
+	}
 	r.res.Detected += n
 	r.sims[0].ResetPatterns()
 	return err

@@ -36,9 +36,13 @@ type Checkpoint struct {
 	Done []bool
 	// Cubes are the test cubes committed so far, in commit order.
 	Cubes *cube.Set
-	// Patterns are the X-filled patterns committed so far; the trailing
-	// len(Patterns) mod 64 of them are the pending (unswept) lanes a
-	// resume rebuilds.
+	// Patterns are the X-filled patterns committed so far. A resume
+	// replays all of them through fresh simulator batches (sweeping each
+	// time a batch fills), which rebuilds the pending lanes regardless of
+	// either run's lane capacity — already-swept patterns re-detect only
+	// faults Done marks, so the replay is idempotent and the final result
+	// stays bit-identical even when Options.LaneWords differs between the
+	// interrupted and the resuming run.
 	Patterns [][]uint8
 	// FillState is the prng.Source state of the X-fill stream.
 	FillState uint64
@@ -287,9 +291,14 @@ func (r *runner) snapshot() *Checkpoint {
 
 // restore loads a checkpoint into a fresh runner: counters, done marks,
 // cubes, patterns and fill-stream position are deep-copied in, and the
-// pending (unswept) simulator lanes are rebuilt from the trailing
-// len(Patterns) mod 64 patterns — exactly the lanes the interrupted run
-// had accumulated since its last 64-wide sweep.
+// pending (unswept) simulator lanes are rebuilt by replaying every
+// committed pattern, sweeping whenever a batch fills. Patterns the
+// interrupted run already swept re-detect only faults its checkpoint
+// already marks Done (their sweep effects are part of the snapshot), so
+// the replay is idempotent — and replaying everything keeps resume
+// bit-identical even when this run's lane capacity (Options.LaneWords)
+// differs from the producer's, where replaying only a modulo tail would
+// silently drop unswept lanes.
 func (r *runner) restore(cp *Checkpoint) error {
 	if !cp.Matches(r.u) {
 		return fmt.Errorf("atpg: checkpoint does not match universe (hash/faults/inputs)")
@@ -309,10 +318,17 @@ func (r *runner) restore(cp *Checkpoint) error {
 		r.res.Patterns = append(r.res.Patterns, append([]uint8(nil), p...))
 	}
 	r.src.SetState(cp.FillState)
-	pend := len(r.res.Patterns) % 64
-	for _, p := range r.res.Patterns[len(r.res.Patterns)-pend:] {
+	if !r.opt.FaultDrop {
+		return nil
+	}
+	for _, p := range r.res.Patterns {
 		if err := r.sims[0].AppendPattern(p); err != nil {
 			return err
+		}
+		if r.sims[0].PatternCount() == r.capacity {
+			if err := r.sweep(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

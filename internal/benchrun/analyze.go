@@ -132,7 +132,7 @@ func (r *Report) loadCells(dir string) error {
 		return err
 	}
 	for i, rec := range rows {
-		cov, err := atofField(p, i, "coverage", rec[10])
+		cov, err := atofField(p, i, "coverage", rec[11])
 		if err != nil {
 			return err
 		}

@@ -79,7 +79,7 @@ func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 var (
 	encodeHeader  = []string{"circuit", "L", "workers", "repeat", "seeds", "tdv", "tsl", "checks", "wall_ns"}
-	atpgHeader    = []string{"circuit", "backtrace", "workers", "repeat", "faults", "detected", "untestable", "aborted", "backtracks", "cubes", "coverage", "wall_ns"}
+	atpgHeader    = []string{"circuit", "backtrace", "lane_words", "workers", "repeat", "faults", "detected", "untestable", "aborted", "backtracks", "cubes", "coverage", "wall_ns"}
 	sessionHeader = []string{"workers", "repeat", "tables", "set_builds", "encoding_builds", "index_builds", "table_builds", "hits", "hit_rate", "evictions", "set_build_ns", "encoding_build_ns", "index_build_ns", "table_build_ns"}
 	table1Header  = []string{"circuit", "lfsr_n", "L", "seeds", "tdv", "tsl"}
 	table2Header  = []string{"circuit", "L", "orig", "prop", "impr", "best_s", "best_k"}
@@ -110,7 +110,7 @@ func writeCellCSVs(dir string, s *Snapshot) error {
 	}
 	at := make([][]string, len(s.ATPG))
 	for i, c := range s.ATPG {
-		at[i] = []string{c.Circuit, c.Backtrace, itoa(c.Workers), itoa(c.Repeat),
+		at[i] = []string{c.Circuit, c.Backtrace, itoa(c.LaneWords), itoa(c.Workers), itoa(c.Repeat),
 			itoa(c.Faults), itoa(c.Detected), itoa(c.Untestable), itoa(c.Aborted),
 			itoa(c.Backtracks), itoa(c.Cubes), ftoa(c.Coverage), i64toa(c.WallNS)}
 	}

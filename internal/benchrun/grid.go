@@ -1,6 +1,6 @@
 // Package benchrun is the reproducible paper-run harness: it expands an
 // experiments.json grid (circuits × window lengths × backtrace strategies
-// × workers × repeats) into measured cells driven through
+// × lane widths × workers × repeats) into measured cells driven through
 // experiments.Session, writes a timestamped run directory with per-cell
 // CSVs and logs, snapshots every machine-checkable number into a
 // schema-versioned BENCH_<stamp>.json at the repository root, renders the
@@ -30,8 +30,8 @@ const GridSchemaVersion = 1
 
 // Grid is the experiment grid of one harness run, the JSON shape of
 // experiments.json. The encode axis is Circuits × WindowLengths; the ATPG
-// axis is Circuits × Backtraces; both expand further over Workers ×
-// Repeats. A zero field falls back to the scale's default (see
+// axis is Circuits × Backtraces × LaneWords; both expand further over
+// Workers × Repeats. A zero field falls back to the scale's default (see
 // DefaultGrid).
 type Grid struct {
 	// SchemaVersion pins the grid format; LoadGrid rejects others.
@@ -49,6 +49,10 @@ type Grid struct {
 	// (1 = strictly serial; 0 = all CPUs). Counters are bit-identical
 	// across entries; only wall clock differs.
 	Workers []int `json:"workers"`
+	// LaneWords are the fault-simulator lane widths (in 64-bit words) the
+	// ATPG cells sweep: each cell runs with 64×N-pattern sweeps. Counters
+	// are bit-identical across entries; only wall clock differs. Empty = [1].
+	LaneWords []int `json:"lane_words"`
 	// Repeats is the number of independent repeats (fresh sessions), for
 	// wall-clock spread. Counters are identical across repeats.
 	Repeats int `json:"repeats"`
@@ -85,6 +89,7 @@ func DefaultGrid(scale benchprofile.Scale) Grid {
 		WindowLengths: experiments.ParamsFor(scale).Table1Ls,
 		Backtraces:    []string{"scoap", "multi"},
 		Workers:       []int{1},
+		LaneWords:     []int{1},
 		Repeats:       1,
 		ATPG:          ATPGGrid{Inputs: 80, Outputs: 48, Gates: 260, MaxFan: 3, BacktrackLimit: 20},
 	}
@@ -163,6 +168,14 @@ func (g *Grid) fill() error {
 	}
 	if len(g.Workers) == 0 {
 		g.Workers = def.Workers
+	}
+	if len(g.LaneWords) == 0 {
+		g.LaneWords = def.LaneWords
+	}
+	for _, lw := range g.LaneWords {
+		if lw < 1 || lw > 64 {
+			return fmt.Errorf("lane words %d out of range (want 1..64)", lw)
+		}
 	}
 	if g.Repeats <= 0 {
 		g.Repeats = def.Repeats

@@ -82,8 +82,8 @@ func Run(ctx context.Context, opt RunOptions) (*Snapshot, error) {
 		},
 		log: io.MultiWriter(sink, logFile),
 	}
-	st.logf("run %s: scale=%s circuits=%v Ls=%v backtraces=%v workers=%v repeats=%d",
-		stamp, g.Scale, g.Circuits, g.WindowLengths, g.Backtraces, g.Workers, g.Repeats)
+	st.logf("run %s: scale=%s circuits=%v Ls=%v backtraces=%v lanewords=%v workers=%v repeats=%d",
+		stamp, g.Scale, g.Circuits, g.WindowLengths, g.Backtraces, g.LaneWords, g.Workers, g.Repeats)
 
 	t0 := time.Now()
 	first := true
@@ -145,26 +145,29 @@ func runSession(ctx context.Context, st *runState, g Grid, dir string, workers, 
 		}
 		for _, bt := range g.Backtraces {
 			strat, _ := atpg.ParseBacktrace(bt)
-			t0 := time.Now()
-			u, res, err := sess.ATPGOptsCtx(ctx, core, atpg.Options{
-				FaultDrop:      true,
-				FillSeed:       1,
-				BacktrackLimit: g.ATPG.BacktrackLimit,
-				Backtrace:      strat,
-			})
-			if err != nil {
-				return err
+			for _, lw := range g.LaneWords {
+				t0 := time.Now()
+				u, res, err := sess.ATPGOptsCtx(ctx, core, atpg.Options{
+					FaultDrop:      true,
+					FillSeed:       1,
+					BacktrackLimit: g.ATPG.BacktrackLimit,
+					Backtrace:      strat,
+					LaneWords:      lw,
+				})
+				if err != nil {
+					return err
+				}
+				c := ATPGCell{
+					Circuit: circuit, Backtrace: bt, LaneWords: lw, Workers: workers, Repeat: repeat,
+					Faults: len(u.Faults), Detected: res.Detected, Untestable: res.Untestable,
+					Aborted: res.Aborted, Backtracks: res.Backtracks,
+					Cubes: res.Cubes.Len(), Coverage: res.Coverage,
+					WallNS: int64(time.Since(t0)),
+				}
+				st.snap.ATPG = append(st.snap.ATPG, c)
+				st.logf("%s: faults=%d detected=%d untestable=%d aborted=%d backtracks=%d coverage=%.4f wall=%v",
+					c.Key(), c.Faults, c.Detected, c.Untestable, c.Aborted, c.Backtracks, c.Coverage, time.Duration(c.WallNS))
 			}
-			c := ATPGCell{
-				Circuit: circuit, Backtrace: bt, Workers: workers, Repeat: repeat,
-				Faults: len(u.Faults), Detected: res.Detected, Untestable: res.Untestable,
-				Aborted: res.Aborted, Backtracks: res.Backtracks,
-				Cubes: res.Cubes.Len(), Coverage: res.Coverage,
-				WallNS: int64(time.Since(t0)),
-			}
-			st.snap.ATPG = append(st.snap.ATPG, c)
-			st.logf("%s: faults=%d detected=%d untestable=%d aborted=%d backtracks=%d coverage=%.4f wall=%v",
-				c.Key(), c.Faults, c.Detected, c.Untestable, c.Aborted, c.Backtracks, c.Coverage, time.Duration(c.WallNS))
 		}
 	}
 

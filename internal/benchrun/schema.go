@@ -11,7 +11,8 @@ import (
 // SnapshotSchemaVersion is the BENCH_*.json format this build emits and
 // diffs. Bump it on any field change; Diff refuses mismatched versions so
 // a stale binary never silently compares incompatible snapshots.
-const SnapshotSchemaVersion = 1
+// Version 2 added the ATPG lane-width axis (ATPGCell.LaneWords).
+const SnapshotSchemaVersion = 2
 
 // Snapshot is the machine-readable record of one harness run — the
 // BENCH_<stamp>.json file at the repository root. Field order in the
@@ -35,7 +36,8 @@ type Snapshot struct {
 	Grid Grid `json:"grid"`
 	// Encode holds one cell per circuit × L × workers × repeat.
 	Encode []EncodeCell `json:"encode_cells"`
-	// ATPG holds one cell per circuit × backtrace × workers × repeat.
+	// ATPG holds one cell per circuit × backtrace × lane words × workers ×
+	// repeat.
 	ATPG []ATPGCell `json:"atpg_cells"`
 	// Sessions holds per-(workers, repeat) artefact-cache statistics.
 	Sessions []SessionCell `json:"session_stats"`
@@ -77,11 +79,16 @@ type EncodeCell struct {
 // deterministic random core. Every field except WallNS is a deterministic
 // counter.
 type ATPGCell struct {
-	// Circuit keys the cell together with Backtrace, Workers and Repeat.
+	// Circuit keys the cell together with Backtrace, LaneWords, Workers
+	// and Repeat.
 	Circuit   string `json:"circuit"`
 	Backtrace string `json:"backtrace"` // PODEM strategy: "scoap" or "multi"
-	Workers   int    `json:"workers"`   // session worker budget (0 = all CPUs)
-	Repeat    int    `json:"repeat"`    // repeat index within the grid
+	// LaneWords is the fault-simulator lane width (64-bit words) the cell
+	// ran with — 64×N patterns per sweep. All counters are bit-identical
+	// across widths; only WallNS responds to this axis.
+	LaneWords int `json:"lane_words"`
+	Workers   int `json:"workers"` // session worker budget (0 = all CPUs)
+	Repeat    int `json:"repeat"`  // repeat index within the grid
 	// Faults is the collapsed fault-universe size of the core.
 	Faults int `json:"faults"`
 	// Detected counts faults covered by the generated cubes; Untestable
@@ -138,7 +145,8 @@ func (c EncodeCell) Key() string {
 
 // Key identifies an ATPG cell across snapshots.
 func (c ATPGCell) Key() string {
-	return fmt.Sprintf("atpg %s backtrace=%s workers=%d repeat=%d", c.Circuit, c.Backtrace, c.Workers, c.Repeat)
+	return fmt.Sprintf("atpg %s backtrace=%s lanewords=%d workers=%d repeat=%d",
+		c.Circuit, c.Backtrace, c.LaneWords, c.Workers, c.Repeat)
 }
 
 // Key identifies a session-stats cell across snapshots.
@@ -162,7 +170,7 @@ func (s *Snapshot) Validate() error {
 	if len(s.Encode) != wantEnc {
 		return fmt.Errorf("benchrun: %d encode cells, grid expands to %d", len(s.Encode), wantEnc)
 	}
-	wantATPG := len(g.Circuits) * len(g.Backtraces) * len(g.Workers) * g.Repeats
+	wantATPG := len(g.Circuits) * len(g.Backtraces) * len(g.LaneWords) * len(g.Workers) * g.Repeats
 	if len(s.ATPG) != wantATPG {
 		return fmt.Errorf("benchrun: %d atpg cells, grid expands to %d", len(s.ATPG), wantATPG)
 	}

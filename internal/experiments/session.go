@@ -104,6 +104,14 @@ type Session struct {
 	// CPUs. The rendered tables are identical for any value.
 	Workers int
 
+	// LaneWords is the session's default fault-simulator lane width for
+	// ATPG fault dropping (atpg.Options.LaneWords): 64×LaneWords patterns
+	// per drop sweep, 0 = the single-word engine. It is injected only when
+	// the caller's options leave LaneWords unset, so per-call overrides
+	// (the bench harness sweeping the lane axis) win over the session
+	// default. Results are bit-identical for any value.
+	LaneWords int
+
 	// EncTables memoizes the encoder's shared symbolic tables per
 	// decompressor configuration (LFSR size, geometry, window length and
 	// phase-shifter variant), so every phase-shifter variant tried across
@@ -413,6 +421,9 @@ func (s *Session) ATPGOptsCtx(ctx context.Context, core *netlist.Netlist, opt at
 		return nil, nil, err
 	}
 	opt.Workers = s.Workers
+	if opt.LaneWords == 0 {
+		opt.LaneWords = s.LaneWords
+	}
 	opt.Tables = t
 	u := faultsim.NewUniverse(core)
 	res, err := atpg.RunAllCtx(ctx, u, opt)

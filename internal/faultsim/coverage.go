@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Options tunes the parallel fault-simulation entry points.
@@ -13,6 +14,12 @@ type Options struct {
 	// across, each with its own Simulator scratch state. 0 or negative
 	// means runtime.NumCPU(). Results are bit-identical for any value.
 	Workers int
+	// LaneWords widens every simulator to that many 64-bit words of
+	// pattern lanes, so each sweep covers up to 64×LaneWords patterns
+	// (256/512 at 4/8). 0 or negative selects the single-word engine.
+	// Results are bit-identical for any value — only the batch cadence
+	// changes.
+	LaneWords int
 }
 
 // WorkerCount resolves the Workers field to an effective pool size.
@@ -21,6 +28,14 @@ func (o Options) WorkerCount() int {
 		return o.Workers
 	}
 	return runtime.NumCPU()
+}
+
+// LaneWordCount resolves the LaneWords field to an effective lane width.
+func (o Options) LaneWordCount() int {
+	if o.LaneWords > 0 {
+		return o.LaneWords
+	}
+	return 1
 }
 
 // PoolSize is WorkerCount clamped to the fault universe being sharded:
@@ -37,41 +52,59 @@ func (o Options) PoolSize(numFaults int) int {
 }
 
 // Coverage runs every fault of the universe against the given fully
-// specified patterns (batched 64 at a time) and returns per-fault
-// detection plus the coverage fraction. It uses a worker per CPU; use
-// CoverageOpts to control the pool size.
+// specified patterns (batched a simulator capacity at a time) and returns
+// per-fault detection plus the coverage fraction. It uses a worker per
+// CPU; use CoverageOpts to control the pool size and lane width.
 func Coverage(u *Universe, patterns [][]uint8) (detected []bool, coverage float64, err error) {
 	return CoverageOpts(u, patterns, Options{})
 }
 
-// CoverageOpts is Coverage with an explicit worker-pool configuration.
-// Every fault index is owned by exactly one worker, so the detected slice
-// is written race-free and the result does not depend on scheduling.
+// CoverageOpts is Coverage with an explicit worker-pool and lane-width
+// configuration. Every fault index is owned by exactly one worker per
+// sweep, so the detected slice is written race-free and the result does
+// not depend on scheduling.
 func CoverageOpts(u *Universe, patterns [][]uint8, opt Options) (detected []bool, coverage float64, err error) {
 	return CoverageCtx(context.Background(), u, patterns, opt)
 }
 
 // CoverageCtx is CoverageOpts with cooperative cancellation: the context
-// is polled between 64-pattern batches and, amortized, inside every
-// sharded sweep, so a cancel or deadline stops the pool within
-// microseconds. A cancelled run returns a nil detected slice and an error
-// wrapping context.Canceled or context.DeadlineExceeded; an uncancelled
-// run is bit-identical to CoverageOpts.
+// is polled between pattern batches and, amortized, inside every sharded
+// sweep, so a cancel or deadline stops the pool within microseconds. A
+// cancelled run returns a nil detected slice and an error wrapping
+// context.Canceled or context.DeadlineExceeded; an uncancelled run is
+// bit-identical to CoverageOpts — for any Workers and any LaneWords.
+//
+// Patterns are batched 64×LaneWords at a time and each batch is swept via
+// FaultShards streaming: workers claim deterministic fixed-size shards of
+// the fault universe and regenerate them on the fly instead of walking one
+// big materialized list.
 func CoverageCtx(ctx context.Context, u *Universe, patterns [][]uint8, opt Options) (detected []bool, coverage float64, err error) {
-	sims, err := NewSimulatorPool(u, opt.PoolSize(len(u.Faults)))
+	sims, err := NewSimulatorPoolLanes(u, opt.PoolSize(len(u.Faults)), opt.LaneWordCount())
 	if err != nil {
 		return nil, 0, err
 	}
+	shards := NewFaultShards(u.Net, 0)
+	useShards := shards.Matches(u.Faults)
 	detected = make([]bool, len(u.Faults))
-	for start := 0; start < len(patterns); start += 64 {
-		end := min(start+64, len(patterns))
+	batch := 1
+	if len(sims) > 0 {
+		batch = sims[0].Capacity()
+	}
+	for start := 0; start < len(patterns); start += batch {
+		end := min(start+batch, len(patterns))
 		if err := sims[0].LoadPatterns(patterns[start:end]); err != nil {
 			return nil, 0, err
 		}
 		for _, sim := range sims[1:] {
 			sim.AdoptPatterns(sims[0])
 		}
-		if _, err := DetectAllCtx(ctx, sims, u.Faults, detected); err != nil {
+		if useShards {
+			_, err = DetectAllShardsCtx(ctx, sims, shards, detected)
+		} else {
+			// The caller built a custom fault list; sweep it directly.
+			_, err = DetectAllCtx(ctx, sims, u.Faults, detected)
+		}
+		if err != nil {
 			return nil, 0, fmt.Errorf("faultsim: coverage stopped at pattern %d/%d: %w", start, len(patterns), err)
 		}
 	}
@@ -87,13 +120,19 @@ func CoverageCtx(ctx context.Context, u *Universe, patterns [][]uint8, opt Optio
 	return detected, coverage, nil
 }
 
-// NewSimulatorPool builds n simulators over one universe. The shared
-// topology is computed once up front, so the per-simulator cost is only the
-// scratch arrays.
+// NewSimulatorPool builds n single-lane-word simulators over one universe.
+// The shared topology is computed once up front, so the per-simulator cost
+// is only the scratch arenas.
 func NewSimulatorPool(u *Universe, n int) ([]*Simulator, error) {
+	return NewSimulatorPoolLanes(u, n, 1)
+}
+
+// NewSimulatorPoolLanes builds n simulators of the given lane width over
+// one universe (see NewSimulatorLanes).
+func NewSimulatorPoolLanes(u *Universe, n, laneWords int) ([]*Simulator, error) {
 	sims := make([]*Simulator, n)
 	for i := range sims {
-		sim, err := NewSimulator(u)
+		sim, err := NewSimulatorLanes(u, laneWords)
 		if err != nil {
 			return nil, err
 		}
@@ -164,6 +203,85 @@ func DetectAllCtx(ctx context.Context, sims []*Simulator, faults []Fault, detect
 					detected[fi] = true
 					counts[w]++
 				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total, ctx.Err()
+}
+
+// DetectAllShards is DetectAllShardsCtx without cancellation.
+func DetectAllShards(sims []*Simulator, shards *FaultShards, detected []bool) int {
+	n, _ := DetectAllShardsCtx(context.Background(), sims, shards, detected)
+	return n
+}
+
+// DetectAllShardsCtx sweeps the fault universe via streamed shards instead
+// of a materialized fault list: workers claim shard indices from an atomic
+// counter, regenerate each shard's faults into a per-worker buffer, and
+// mark detections in detected (indexed by universe position — shard k
+// covers indices [k×size, (k+1)×size), exactly NewUniverse order).
+// Entries already true are skipped. Shards are disjoint index ranges and
+// each is claimed by exactly one worker, so the writes never race and the
+// marking is independent of scheduling. The context is polled once per
+// shard; on cancellation detected holds a valid partial marking and the
+// error wraps the context error. It returns the number of faults newly
+// marked.
+func DetectAllShardsCtx(ctx context.Context, sims []*Simulator, shards *FaultShards, detected []bool) (int, error) {
+	numShards := shards.NumShards()
+	if len(sims) == 1 || numShards <= 1 {
+		sim := sims[0]
+		count := 0
+		var buf []Fault
+		for k := 0; k < numShards; k++ {
+			if ctx.Err() != nil {
+				return count, ctx.Err()
+			}
+			shard, start := shards.Shard(k, buf)
+			for i, f := range shard {
+				fi := start + i
+				if detected[fi] {
+					continue
+				}
+				if sim.DetectAny(f) {
+					detected[fi] = true
+					count++
+				}
+			}
+			buf = shard
+		}
+		return count, nil
+	}
+	counts := make([]int, len(sims))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := range sims {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sim := sims[w]
+			var buf []Fault
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= numShards || ctx.Err() != nil {
+					return
+				}
+				shard, start := shards.Shard(k, buf)
+				for i, f := range shard {
+					fi := start + i
+					if detected[fi] {
+						continue
+					}
+					if sim.DetectAny(f) {
+						detected[fi] = true
+						counts[w]++
+					}
+				}
+				buf = shard
 			}
 		}(w)
 	}

@@ -1,0 +1,108 @@
+package faultsim
+
+import (
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// DefaultShardSize is the fault count per shard used when NewFaultShards
+// is given a non-positive size. It matches detectStride, so one shard is
+// also one cancellation-poll quantum for the sweep workers.
+const DefaultShardSize = 256
+
+// FaultShards enumerates a circuit's collapsed stuck-at fault universe in
+// deterministic fixed-size shards without materializing the full list: it
+// stores only per-gate prefix sums (two int32 words per gate) and
+// regenerates each shard's faults on demand into a caller-owned buffer.
+// Shard k always holds universe indices [k×size, (k+1)×size) in exactly
+// the order NewUniverse materializes — both are built on the same
+// per-gate emitter — so sharded sweeps can mark a detected slice indexed
+// by the materialized universe.
+//
+// A FaultShards is immutable after construction and safe for concurrent
+// Shard calls (each call writes only the caller's buffer).
+type FaultShards struct {
+	net    *netlist.Netlist
+	loads  []int32 // per-signal load counts the collapsing rules key on
+	prefix []int32 // prefix[gi] = faults on gates < gi; prefix[NumGates] = total
+	size   int
+}
+
+// NewFaultShards computes the shard index for a circuit: per-gate fault
+// counts under the NewUniverse collapsing rules, prefix-summed so any
+// fault index maps to its gate in O(log gates). shardSize ≤ 0 selects
+// DefaultShardSize.
+func NewFaultShards(n *netlist.Netlist, shardSize int) *FaultShards {
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	loads := signalLoads(n)
+	prefix := make([]int32, n.NumGates()+1)
+	var buf []Fault
+	for gi := 0; gi < n.NumGates(); gi++ {
+		buf = appendGateFaults(n, loads, gi, buf[:0])
+		prefix[gi+1] = prefix[gi] + int32(len(buf))
+	}
+	return &FaultShards{net: n, loads: loads, prefix: prefix, size: shardSize}
+}
+
+// NumFaults returns the total collapsed fault count — identical to
+// len(NewUniverse(n).Faults) for the same netlist.
+func (fs *FaultShards) NumFaults() int {
+	return int(fs.prefix[len(fs.prefix)-1])
+}
+
+// NumShards returns how many shards cover the universe (the last one may
+// be short).
+func (fs *FaultShards) NumShards() int {
+	return (fs.NumFaults() + fs.size - 1) / fs.size
+}
+
+// ShardSize returns the fault count per full shard.
+func (fs *FaultShards) ShardSize() int { return fs.size }
+
+// Shard regenerates shard k's faults into buf (reused storage; pass the
+// previous call's return value to amortize the allocation to zero) and
+// returns the shard slice along with the universe index of its first
+// fault. Out-of-range k returns an empty shard.
+func (fs *FaultShards) Shard(k int, buf []Fault) (faults []Fault, start int) {
+	start = k * fs.size
+	end := min(start+fs.size, fs.NumFaults())
+	if k < 0 || start >= end {
+		return buf[:0], start
+	}
+	// First gate whose fault range contains index start.
+	ng := fs.net.NumGates()
+	first := sort.Search(ng, func(gi int) bool { return fs.prefix[gi+1] > int32(start) })
+	buf = buf[:0]
+	for gi := first; gi < ng && int(fs.prefix[gi]) < end; gi++ {
+		buf = appendGateFaults(fs.net, fs.loads, gi, buf)
+	}
+	// buf holds faults [prefix[first], …); trim to the shard window.
+	base := int(fs.prefix[first])
+	copy(buf, buf[start-base:end-base])
+	return buf[:end-start], start
+}
+
+// Matches reports whether the shard enumeration reproduces the given
+// materialized fault list exactly — same length, same faults, same order.
+// Consumers that index a detected slice by universe position use it as a
+// cheap O(faults) guard before substituting sharded streaming for the
+// materialized list.
+func (fs *FaultShards) Matches(faults []Fault) bool {
+	if fs.NumFaults() != len(faults) {
+		return false
+	}
+	var buf []Fault
+	for k := 0; k < fs.NumShards(); k++ {
+		shard, start := fs.Shard(k, buf)
+		for i, f := range shard {
+			if faults[start+i] != f {
+				return false
+			}
+		}
+		buf = shard
+	}
+	return true
+}

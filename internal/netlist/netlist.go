@@ -121,6 +121,60 @@ func (g GateType) EvalWord(in []uint64) uint64 {
 	}
 }
 
+// EvalWords is EvalWord over multi-word pattern lanes: it computes the
+// gate function across len(dst)×64 bit-sliced patterns at once, reading
+// fan-in pin p's lane words from in[p] and writing the result into dst.
+// Every slice must have length len(dst); dst must not alias any fan-in
+// plane. The fault simulator's wide-lane engine is built on this.
+func (g GateType) EvalWords(dst []uint64, in [][]uint64) {
+	switch g {
+	case Buf:
+		copy(dst, in[0])
+	case Not:
+		for w, v := range in[0] {
+			dst[w] = ^v
+		}
+	case And, Nand:
+		copy(dst, in[0])
+		for _, p := range in[1:] {
+			for w, v := range p {
+				dst[w] &= v
+			}
+		}
+		if g == Nand {
+			for w := range dst {
+				dst[w] = ^dst[w]
+			}
+		}
+	case Or, Nor:
+		copy(dst, in[0])
+		for _, p := range in[1:] {
+			for w, v := range p {
+				dst[w] |= v
+			}
+		}
+		if g == Nor {
+			for w := range dst {
+				dst[w] = ^dst[w]
+			}
+		}
+	case Xor, Xnor:
+		copy(dst, in[0])
+		for _, p := range in[1:] {
+			for w, v := range p {
+				dst[w] ^= v
+			}
+		}
+		if g == Xnor {
+			for w := range dst {
+				dst[w] = ^dst[w]
+			}
+		}
+	default:
+		panic(fmt.Sprintf("netlist: EvalWords on %v", g))
+	}
+}
+
 // Gate is one node of the netlist. Fanin holds gate indices.
 type Gate struct {
 	Name  string
@@ -292,13 +346,32 @@ func (n *Netlist) levelizeLocked() ([]int, error) {
 }
 
 // Fanouts returns the (cached) per-gate fan-out lists: Fanouts()[gi] holds
-// the indices of every gate that reads gi. The slices are shared and must
-// be treated as read-only.
+// the indices of every gate that reads gi. The per-gate slices are carved
+// out of one contiguous arena slab (two-pass CSR build), so the whole
+// structure costs two allocations regardless of gate count — a 100k-gate
+// netlist does not scatter 100k little slices across the heap. The slices
+// are shared and must be treated as read-only.
 func (n *Netlist) Fanouts() [][]int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.fanouts == nil {
+		counts := make([]int, len(n.Gates))
+		total := 0
+		for _, g := range n.Gates {
+			for _, f := range g.Fanin {
+				counts[f]++
+				total++
+			}
+		}
+		slab := make([]int, total)
 		fanouts := make([][]int, len(n.Gates))
+		off := 0
+		for gi, c := range counts {
+			// Full-capacity sub-slice: an accidental append on one gate's
+			// list cannot silently overwrite its neighbour's slab region.
+			fanouts[gi] = slab[off : off : off+c]
+			off += c
+		}
 		for gi, g := range n.Gates {
 			for _, f := range g.Fanin {
 				fanouts[f] = append(fanouts[f], gi)

@@ -47,6 +47,10 @@ type Request struct {
 	Backtrack int    `json:"backtrack,omitempty"` // PODEM backtrack limit (0 = default)
 	Backtrace string `json:"backtrace,omitempty"` // "scoap" (default) or "multi"
 	Patterns  int    `json:"patterns,omitempty"`  // coverage: pseudorandom patterns (default 256)
+	// LaneWords widens the fault simulator to 64×N pattern lanes per sweep
+	// (0 = server default). Results are bit-identical for any width; only
+	// throughput changes.
+	LaneWords int `json:"lane_words,omitempty"`
 
 	// TimeoutMS overrides the server's default per-job deadline in
 	// milliseconds; negative disables the deadline for this job.
@@ -94,6 +98,9 @@ func (r *Request) validate() error {
 		}
 		if r.Kind == KindCoverage && r.Patterns == 0 {
 			r.Patterns = 256
+		}
+		if r.LaneWords < 0 || r.LaneWords > 64 {
+			return fmt.Errorf("server: lane_words %d out of range (want 0..64)", r.LaneWords)
 		}
 	case "":
 		return errors.New("server: missing job kind")

@@ -62,6 +62,10 @@ type Config struct {
 	// EngineWorkers bounds each job's internal parallelism
 	// (experiments.Session.Workers); 0 = all CPUs.
 	EngineWorkers int
+	// LaneWords is the default fault-simulator lane width in 64-bit words
+	// (experiments.Session.LaneWords); requests override it per job via
+	// lane_words. 0 = single-word; results are bit-identical for any width.
+	LaneWords int
 	// QueueSize bounds the backlog of queued jobs (0 = 64). A full queue
 	// rejects submissions with ErrQueueFull (HTTP 503 + Retry-After).
 	QueueSize int
@@ -198,6 +202,7 @@ func New(cfg Config) (*Server, error) {
 		started:    cfg.Clock(),
 	}
 	s.session.Workers = cfg.EngineWorkers
+	s.session.LaneWords = cfg.LaneWords
 	if cfg.MaxCached > 0 {
 		s.session.SetMaxCached(cfg.MaxCached)
 		s.session.EncTables.SetMax(cfg.MaxCached)
@@ -754,6 +759,8 @@ func (s *Server) runATPG(ctx context.Context, j *job) (*Result, error) {
 	opt := atpg.Options{
 		FaultDrop: true, FillSeed: req.Seed,
 		BacktrackLimit: req.Backtrack, Backtrace: strategy,
+		// 0 lets the session inject the server-wide Config.LaneWords default.
+		LaneWords: req.LaneWords,
 	}
 	if s.journal != nil {
 		// Periodic checkpoints ride the buffered journal path; losing the
@@ -817,7 +824,11 @@ func (s *Server) runCoverage(ctx context.Context, req *Request) (*Result, error)
 		}
 		patterns[i] = p
 	}
-	detected, cov, err := faultsim.CoverageCtx(ctx, u, patterns, faultsim.Options{Workers: s.cfg.EngineWorkers})
+	lanes := req.LaneWords
+	if lanes == 0 {
+		lanes = s.cfg.LaneWords
+	}
+	detected, cov, err := faultsim.CoverageCtx(ctx, u, patterns, faultsim.Options{Workers: s.cfg.EngineWorkers, LaneWords: lanes})
 	if err != nil {
 		return nil, err
 	}
